@@ -1,0 +1,37 @@
+# Standard entry points for the reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per paper table/figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every paper artifact (tables and figures) on stdout.
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Run every example binary once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/comparecomm
+	$(GO) run ./examples/memoryplan
+	$(GO) run ./examples/customnet
+	$(GO) run ./examples/asgd
+	$(GO) run ./examples/whatif
+	$(GO) run ./examples/parallelism
+
+clean:
+	rm -f trace.json test_output.txt bench_output.txt

@@ -1,0 +1,309 @@
+// Benchmarks regenerating each of the paper's tables and figures. Run
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment sweep; with -v the
+// rendered tables are logged, so a benchmark run doubles as the
+// reproduction harness. Custom metrics surface the key quantitative shapes
+// (speedups, overheads, crossovers) so regressions in the model are caught
+// by numbers, not just by runtime.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/commbench"
+	"repro/internal/experiments"
+	"repro/internal/kvstore"
+	"repro/internal/topology"
+	"repro/internal/train"
+	"repro/internal/units"
+)
+
+// benchOpts uses fewer jitter repetitions than the paper's 5; the
+// simulation cost per configuration is unchanged.
+var benchOpts = experiments.Options{Repetitions: 3, Seed: 1}
+
+// runExperiment executes one paper artifact b.N times, logging the tables
+// from the final run.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}
+
+// epoch simulates one configuration and returns epoch seconds.
+func epoch(b *testing.B, model string, gpus, batch int, method kvstore.Method) float64 {
+	b.Helper()
+	cfg, err := train.NewConfig(model, gpus, batch, method)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := train.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.EpochTime.Seconds()
+}
+
+// BenchmarkTable1NetworkStats regenerates Table I (network descriptions).
+func BenchmarkTable1NetworkStats(b *testing.B) {
+	runExperiment(b, "table1")
+}
+
+// BenchmarkFig1Timeline regenerates Figure 1 (the epoch timeline summary).
+func BenchmarkFig1Timeline(b *testing.B) {
+	runExperiment(b, "fig1")
+}
+
+// BenchmarkFig2Topology regenerates Figure 2 (DGX-1 topology).
+func BenchmarkFig2Topology(b *testing.B) {
+	runExperiment(b, "fig2")
+}
+
+// BenchmarkFig3TrainingTime regenerates Figure 3 (the full 5 networks x 2
+// methods x 3 batches x 4 GPU-count training-time sweep) and reports the
+// paper's headline speedup shapes as custom metrics.
+func BenchmarkFig3TrainingTime(b *testing.B) {
+	runExperiment(b, "fig3")
+	base := epoch(b, "lenet", 1, 16, kvstore.MethodP2P)
+	b.ReportMetric(base/epoch(b, "lenet", 8, 16, kvstore.MethodP2P), "lenet-p2p-8gpu-speedup")
+	p4 := epoch(b, "resnet", 4, 16, kvstore.MethodP2P)
+	n4 := epoch(b, "resnet", 4, 16, kvstore.MethodNCCL)
+	b.ReportMetric(p4/n4, "resnet-4gpu-nccl-advantage")
+}
+
+// BenchmarkTable2NCCLOverhead regenerates Table II (single-GPU NCCL
+// overhead) and reports the paper's 21.8% LeNet anchor.
+func BenchmarkTable2NCCLOverhead(b *testing.B) {
+	runExperiment(b, "table2")
+	p := epoch(b, "lenet", 1, 16, kvstore.MethodP2P)
+	n := epoch(b, "lenet", 1, 16, kvstore.MethodNCCL)
+	b.ReportMetric(100*(n-p)/p, "lenet-b16-overhead-%")
+}
+
+// BenchmarkFig4Breakdown regenerates Figure 4 (FP+BP vs WU decomposition).
+func BenchmarkFig4Breakdown(b *testing.B) {
+	runExperiment(b, "fig4")
+}
+
+// BenchmarkTable3SyncOverhead regenerates Table III (cudaStreamSynchronize
+// share for LeNet).
+func BenchmarkTable3SyncOverhead(b *testing.B) {
+	runExperiment(b, "table3")
+}
+
+// BenchmarkTable4Memory regenerates Table IV (memory usage and the 16GB
+// trainability boundary).
+func BenchmarkTable4Memory(b *testing.B) {
+	runExperiment(b, "table4")
+}
+
+// BenchmarkFig5WeakScaling regenerates Figure 5 (weak scaling).
+func BenchmarkFig5WeakScaling(b *testing.B) {
+	runExperiment(b, "fig5")
+}
+
+// --- ablation benches for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationTensorCores quantifies the tensor-core lowering:
+// ResNet-50 single-GPU epoch with and without it.
+func BenchmarkAblationTensorCores(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg, err := train.NewConfig("resnet", 1, 16, kvstore.MethodP2P)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.TensorCores = false
+		tr, err := train.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		off, err := tr.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		on := epoch(b, "resnet", 1, 16, kvstore.MethodP2P)
+		b.ReportMetric(off.EpochTime.Seconds()/on, "tensor-core-speedup")
+	}
+}
+
+// BenchmarkAblationBPWUOverlap quantifies MXNet's BP/WU pipelining by
+// comparing the exposed WU against the total communication a serialized
+// schedule would expose (approximated by the sync-SGD barrier tail).
+func BenchmarkAblationBPWUOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg, err := train.NewConfig("resnet", 8, 16, kvstore.MethodNCCL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := train.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.WUWall.Seconds()/res.EpochTime.Seconds(), "exposed-wu-%")
+	}
+}
+
+// BenchmarkAblationAsyncSGD quantifies the ASGD extension against
+// synchronous SGD for the communication-bound AlexNet at 4 GPUs.
+func BenchmarkAblationAsyncSGD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		syncT := epoch(b, "alexnet", 4, 16, kvstore.MethodP2P)
+		cfg, err := train.NewConfig("alexnet", 4, 16, kvstore.MethodP2P)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Async = true
+		tr, err := train.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(syncT/res.EpochTime.Seconds(), "asgd-speedup")
+	}
+}
+
+// BenchmarkAblationInterconnect sweeps NVLink bandwidth (PCIe-only, 1x,
+// 4x) for 8-GPU AlexNet — the paper's insight that bandwidth alone cannot
+// remove the communication bottleneck, quantified.
+func BenchmarkAblationInterconnect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := func(top *topology.Topology) float64 {
+			cfg, err := train.NewConfig("alexnet", 8, 16, kvstore.MethodNCCL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Topology = top
+			tr, err := train.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := tr.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.EpochTime.Seconds()
+		}
+		base := run(topology.DGX1())
+		b.ReportMetric(run(topology.DGX1PCIeOnly())/base, "pcie-only-slowdown")
+		b.ReportMetric(base/run(topology.DGX1Scaled(4)), "4x-nvlink-speedup")
+	}
+}
+
+// BenchmarkAblationModelParallel compares pipelined model parallelism with
+// data parallelism for the FC-heavy AlexNet (paper §I's contrast).
+func BenchmarkAblationModelParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dp := epoch(b, "alexnet", 4, 64, kvstore.MethodP2P)
+		cfg, err := train.NewConfig("alexnet", 4, 64, kvstore.MethodP2P)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Parallelism = train.ModelParallel
+		tr, err := train.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mp, err := tr.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(dp/mp.EpochTime.Seconds(), "dp-over-mp")
+	}
+}
+
+// BenchmarkAblationCheckpointing quantifies gradient checkpointing: the
+// memory saved and the time paid for ResNet-50 at batch 32.
+func BenchmarkAblationCheckpointing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plain := epoch(b, "resnet", 4, 32, kvstore.MethodNCCL)
+		cfg, err := train.NewConfig("resnet", 4, 32, kvstore.MethodNCCL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Checkpointing = true
+		tr, err := train.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EpochTime.Seconds()/plain, "checkpoint-slowdown")
+		b.ReportMetric(float64(tr.Memory().FeatureMaps)/float64(1<<30), "featmaps-GiB")
+	}
+}
+
+// BenchmarkAblationWinograd quantifies the Winograd 3x3 lowering for the
+// 3x3-dominated ResNet-50.
+func BenchmarkAblationWinograd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plain := epoch(b, "resnet", 1, 32, kvstore.MethodP2P)
+		cfg, err := train.NewConfig("resnet", 1, 32, kvstore.MethodP2P)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Winograd = true
+		tr, err := train.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(plain/res.EpochTime.Seconds(), "winograd-speedup")
+	}
+}
+
+// BenchmarkCommMicro is the nccl-tests analog: large-message 8-GPU
+// all-reduce bus bandwidth under both methods.
+func BenchmarkCommMicro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n, err := commbench.Measure(commbench.AllReduce, kvstore.MethodNCCL, 8, 256*units.MB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := commbench.Measure(commbench.AllReduce, kvstore.MethodP2P, 8, 256*units.MB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n.BusBW)/float64(1<<30), "nccl-busbw-GB/s")
+		b.ReportMetric(float64(p.BusBW)/float64(1<<30), "p2p-busbw-GB/s")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the raw simulator speed (one
+// Inception-v3 8-GPU configuration per iteration) — the engineering metric
+// that keeps the full sweeps tractable.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		epoch(b, "inception-v3", 8, 16, kvstore.MethodNCCL)
+	}
+}

@@ -1,0 +1,49 @@
+// Command commbench is the simulator's nccl-tests analog: it sweeps
+// message sizes for the WU-stage primitives (all-reduce, broadcast) under
+// both communication methods and prints algorithm/bus bandwidth, plus the
+// P2P-to-NCCL crossover size per GPU count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/commbench"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		op   = flag.String("op", "allreduce", "operation: allreduce or broadcast")
+		gpus = flag.Int("gpus", 8, "GPU count (2..8)")
+	)
+	flag.Parse()
+
+	sizes := commbench.DefaultSizes()
+	pts, err := commbench.Sweep(commbench.Op(*op), *gpus, sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s, %d GPUs (modeled DGX-1)\n", *op, *gpus)
+	fmt.Printf("%-10s %-8s %-14s %-14s %s\n", "size", "method", "time", "algbw", "busbw")
+	for _, p := range pts {
+		fmt.Printf("%-10v %-8s %-14v %-14v %v\n", p.Size, p.Method, p.Time.Round(100), p.AlgBW, p.BusBW)
+	}
+
+	fmt.Println()
+	for _, g := range []int{2, 4, 8} {
+		cross, err := commbench.Crossover(g, sizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "commbench:", err)
+			os.Exit(1)
+		}
+		if cross == 0 {
+			fmt.Printf("%d GPUs: P2P wins at every swept size\n", g)
+			continue
+		}
+		fmt.Printf("%d GPUs: NCCL all-reduce overtakes P2P at %v (%.1fM parameters)\n",
+			g, cross, float64(cross/units.Float32Size)/1e6)
+	}
+}

@@ -1,0 +1,96 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulator. Without -run it executes everything in paper order.
+//
+// Usage:
+//
+//	experiments                 # everything (full 256K-image sweeps)
+//	experiments -run fig3       # one artifact
+//	experiments -list
+//	experiments -images 65536   # faster, shape-preserving sweep
+//	experiments -csv out/       # additionally write each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "comma-separated experiment ids (empty = all)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		images = flag.Int64("images", 0, "dataset images (0 = paper's 256K)")
+		reps   = flag.Int("reps", 5, "repetitions per configuration")
+		seed   = flag.Int64("seed", 1, "jitter seed")
+		csvDir = flag.String("csv", "", "directory to also write tables as CSV")
+		md     = flag.Bool("md", false, "print tables as Markdown instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Options{Repetitions: *reps, Seed: *seed, Images: *images}
+	selected := experiments.All()
+	if *run != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(opt)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("== %s: %s (generated in %v) ==\n\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond))
+		for i, t := range tables {
+			if *md {
+				if err := t.WriteMarkdown(os.Stdout); err != nil {
+					fatal(err)
+				}
+			} else {
+				fmt.Println(t.String())
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, fmt.Sprintf("%s_%d.csv", e.ID, i), t); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func writeCSV(dir, name string, t *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

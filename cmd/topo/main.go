@@ -1,0 +1,70 @@
+// Command topo prints the modeled DGX-1 interconnect (the paper's
+// Figure 2): nodes, links, NVLink adjacency, routed bandwidth matrix, and
+// — with -routes — the path every GPU pair takes under each policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func main() {
+	routes := flag.Bool("routes", false, "print routed paths for every GPU pair")
+	flag.Parse()
+
+	top := topology.DGX1()
+	if err := top.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "topo:", err)
+		os.Exit(1)
+	}
+	fmt.Print(top.Describe())
+
+	m, err := top.BandwidthMatrix(topology.RouteStagedNVLink)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topo:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Routed bottleneck bandwidth (staged NVLink policy):")
+	fmt.Print("      ")
+	for _, g := range top.GPUs() {
+		fmt.Printf("%8s", fmt.Sprintf("G%d", g))
+	}
+	fmt.Println()
+	for i, a := range top.GPUs() {
+		fmt.Printf("  %-4s", fmt.Sprintf("G%d", a))
+		for j := range top.GPUs() {
+			if i == j {
+				fmt.Printf("%8s", "-")
+			} else {
+				fmt.Printf("%7.0fG", float64(m[i][j])/float64(units.GBPerSec))
+			}
+		}
+		fmt.Println()
+	}
+
+	if *routes {
+		fmt.Println("\nRoutes (staged NVLink | PCIe fallback):")
+		for _, a := range top.GPUs() {
+			for _, b := range top.GPUs() {
+				if a == b {
+					continue
+				}
+				nv, err := top.Route(a, b, topology.RouteStagedNVLink)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "topo:", err)
+					os.Exit(1)
+				}
+				pc, err := top.Route(a, b, topology.RoutePCIeFallback)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "topo:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("  %d->%d: %-40s | %s\n", a, b, nv, pc)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Asgd contrasts synchronous SGD (the paper's measured configuration) with
+// the asynchronous variant its background section discusses: ASGD removes
+// the inter-GPU barrier — each worker exchanges with the parameter-server
+// GPU independently — trading gradient staleness for wall-clock speed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Println("Synchronous vs asynchronous SGD (P2P parameter server, batch 16)")
+	fmt.Printf("%-14s %-6s %-14s %-14s %s\n", "model", "gpus", "sync epoch", "async epoch", "async gain")
+	for _, model := range []string{"lenet", "alexnet", "googlenet"} {
+		for _, gpus := range []int{2, 4, 8} {
+			sync, err := core.Run(core.Workload{Model: model, GPUs: gpus, Batch: 16, Method: core.P2P})
+			if err != nil {
+				log.Fatal(err)
+			}
+			async, err := core.Run(core.Workload{Model: model, GPUs: gpus, Batch: 16, Method: core.P2P, Async: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			gain := sync.EpochTime.Seconds() / async.EpochTime.Seconds()
+			fmt.Printf("%-14s %-6d %-14v %-14v %.2fx\n",
+				model, gpus, sync.EpochTime.Round(1e6), async.EpochTime.Round(1e6), gain)
+		}
+	}
+	fmt.Println("\nASGD's wall-clock advantage is what the paper's §II-B describes; its cost —")
+	fmt.Println("the delayed-gradient problem degrading convergence — is outside timing scope.")
+}

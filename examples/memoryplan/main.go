@@ -1,0 +1,50 @@
+// Memoryplan explores the paper's memory findings (its Table IV): how
+// per-GPU memory grows with batch size, GPU 0's parameter-server premium,
+// and where each network hits the 16 GB V100 wall. Useful for answering
+// "what is the largest batch I can train?" before renting the machine.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+)
+
+func main() {
+	for _, model := range core.Models() {
+		d, err := core.Describe(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%d params, input %v)\n", d.Name, d.Params, d.InputShape)
+		fmt.Printf("  %-6s %-12s %-12s %-12s %-10s %s\n",
+			"batch", "pre-train", "GPU0", "GPUx", "GPU0 +%", "trains on 16GB V100?")
+		for _, batch := range []int{16, 32, 64, 128, 256} {
+			est, err := core.EstimateMemory(model, batch, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			verdict := "yes"
+			// Probe by building the training session, which allocates on
+			// the simulated devices.
+			if _, err := core.Run(core.Workload{
+				Model: model, GPUs: 4, Batch: batch, Images: 4096,
+			}); err != nil {
+				if errors.Is(err, gpu.ErrOutOfMemory) {
+					verdict = "OOM"
+				} else {
+					log.Fatal(err)
+				}
+			}
+			fmt.Printf("  %-6d %-12.2f %-12.2f %-12.2f %-10.1f %s\n",
+				batch, est.PreTraining.GiB(), est.Root().GiB(), est.Worker().GiB(),
+				est.RootPremiumPercent(), verdict)
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper: Inception-v3 and ResNet cannot train beyond batch 64 per GPU;")
+	fmt.Println("feature maps, not weights, are what fills the 16 GB")
+}

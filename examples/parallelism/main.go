@@ -1,0 +1,42 @@
+// Parallelism contrasts the three distribution strategies on the workloads
+// whose structure the paper's §I discussion keys on: data parallelism
+// (replicate + exchange gradients, what the paper measures), pipelined
+// model parallelism (partition layers, exchange boundary activations), and
+// the hybrid "one weird trick" (data-parallel convs + tensor-parallel FC
+// slices). AlexNet — 5 conv layers but 224 MB of FC weights — is exactly
+// the network the paper says model parallelism suits, and the hybrid
+// scheme shows why.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Printf("%-14s %-6s %-16s %-16s %-16s\n",
+		"model", "gpus", "data-parallel", "model-parallel", "hybrid-owt")
+	for _, model := range []string{"alexnet", "googlenet", "resnet"} {
+		for _, gpus := range []int{4, 8} {
+			dp, err := core.Run(core.Workload{Model: model, GPUs: gpus, Batch: 16})
+			if err != nil {
+				log.Fatal(err)
+			}
+			mp, err := core.Run(core.Workload{Model: model, GPUs: gpus, Batch: 16, Method: core.P2P, ModelParallel: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			hy, err := core.Run(core.Workload{Model: model, GPUs: gpus, Batch: 16, HybridOWT: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-14s %-6d %-16v %-16v %-16v\n", model, gpus,
+				dp.EpochTime.Round(1e6), mp.EpochTime.Round(1e6), hy.EpochTime.Round(1e6))
+		}
+	}
+	fmt.Println()
+	fmt.Println("hybrid wins where data parallelism drowns in FC-weight exchange (AlexNet);")
+	fmt.Println("for conv-dominated networks the gradient volume is small and data parallelism holds.")
+}

@@ -1,0 +1,39 @@
+// Quickstart: simulate one epoch of GoogLeNet training on 4 GPUs of the
+// modeled DGX-1 with NCCL communication and print the measurements —
+// the library's sixty-second tour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	report, err := core.Run(core.Workload{
+		Model:  "googlenet",
+		GPUs:   4,
+		Batch:  32,
+		Method: core.NCCL,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(report.Summary())
+	fmt.Println()
+	fmt.Printf("epoch time:          %v\n", report.EpochTime)
+	fmt.Printf("steady iteration:    %v\n", report.SteadyIter)
+	fmt.Printf("throughput:          %.0f images/s\n", report.Throughput)
+	fmt.Printf("computation (FP+BP): %v\n", report.FPBP)
+	fmt.Printf("exposed WU:          %v\n", report.WU)
+	fmt.Printf("GPU0 memory:         %.2f GiB (workers %.2f GiB)\n",
+		report.Memory.Root().GiB(), report.Memory.Worker().GiB())
+
+	// The profile gives nvprof-style accounting.
+	launches := report.Profile.API("cudaLaunchKernel")
+	fmt.Printf("kernel launches:     %d (%v total host time)\n", launches.Calls, launches.Total)
+	ar := report.Profile.Kernel("ncclAllReduceRingKernel")
+	fmt.Printf("NCCL all-reduces:    %d\n", ar.Calls)
+}

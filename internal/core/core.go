@@ -1,0 +1,220 @@
+// Package core is the library's top-level API: describe a DNN training
+// workload, run it on the simulated Volta DGX-1, and read back the
+// measurements the paper reports — epoch time, FP+BP/WU breakdown, memory
+// usage, CUDA-API overheads, and method comparisons.
+//
+// It is a thin, stable facade over the simulation stack (train, kvstore,
+// nccl, p2p, cuda, gpu, interconnect, topology, sim); programs needing
+// finer control use those packages directly.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+	"repro/internal/kvstore"
+	"repro/internal/memmodel"
+	"repro/internal/models"
+	"repro/internal/profiler"
+	"repro/internal/train"
+	"repro/internal/units"
+)
+
+// Method names a communication method.
+type Method = kvstore.Method
+
+// Communication methods.
+const (
+	P2P  = kvstore.MethodP2P
+	NCCL = kvstore.MethodNCCL
+)
+
+// Workload describes one training configuration.
+type Workload struct {
+	// Model is a zoo name: lenet, alexnet, googlenet, inception-v3, resnet.
+	Model string
+	// GPUs is the device count (1..8).
+	GPUs int
+	// Batch is the per-GPU mini-batch size.
+	Batch int
+	// Method is the communication method (default NCCL).
+	Method Method
+	// Images per epoch (default: the paper's 256K).
+	Images int64
+	// WeakScaling grows the dataset by the GPU count.
+	WeakScaling bool
+	// TensorCores toggles the tensor-core lowering (default on via Run).
+	DisableTensorCores bool
+	// Async switches to asynchronous SGD (P2P only).
+	Async bool
+	// ModelParallel partitions layers across GPUs (pipelined with
+	// micro-batches) instead of replicating the model.
+	ModelParallel bool
+	// HybridOWT data-parallelizes the conv body and tensor-parallelizes
+	// the FC head ("one weird trick"); requires NCCL and >= 2 GPUs.
+	HybridOWT bool
+	// MicroBatches tunes the model-parallel pipeline depth (default 4x
+	// the stage count).
+	MicroBatches int
+	// NCCLTree uses NCCL's double-binary-tree algorithm instead of rings.
+	NCCLTree bool
+	// BucketKB fuses gradient arrays into buckets of at least this many
+	// KiB before exchange (0 = per-array, the paper-era behaviour).
+	BucketKB int
+	// Checkpointing trades one extra forward pass for sqrt-N activation
+	// memory (unlocks batch sizes past the paper's OOM wall).
+	Checkpointing bool
+	// Winograd lowers eligible 3x3 convolutions via the Winograd
+	// transform.
+	Winograd bool
+	// TraceIntervals retains up to this many profiler intervals for
+	// timeline export.
+	TraceIntervals int
+}
+
+// Report is the outcome of one simulated epoch. It marshals to JSON for
+// external analysis (durations in nanoseconds; the profile is omitted —
+// export timelines with Profile.ExportChromeTrace).
+type Report struct {
+	Workload   Workload `json:"workload"`
+	Iterations int64    `json:"iterations"`
+
+	EpochTime  time.Duration `json:"epochTimeNs"`
+	SteadyIter time.Duration `json:"steadyIterNs"`
+	Throughput float64       `json:"imagesPerSecond"`
+
+	// Stage breakdown (per epoch).
+	FPBP time.Duration `json:"fpbpNs"`
+	WU   time.Duration `json:"wuNs"`
+
+	// Memory per GPU.
+	Memory memmodel.Estimate `json:"memory"`
+
+	// CUDA-API view.
+	SyncPercent        float64 `json:"syncPercent"`
+	ComputeUtilization float64 `json:"computeUtilization"`
+
+	// Profile gives full access to kernel/API/transfer accounting.
+	Profile *profiler.Profile `json:"-"`
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Run simulates one epoch of the workload.
+func Run(w Workload) (*Report, error) {
+	if w.Method == "" {
+		w.Method = NCCL
+	}
+	cfg, err := train.NewConfig(w.Model, w.GPUs, w.Batch, w.Method)
+	if err != nil {
+		return nil, err
+	}
+	if w.Images > 0 {
+		cfg.Images = w.Images
+	}
+	if w.WeakScaling {
+		cfg.Images *= int64(w.GPUs)
+	}
+	cfg.TensorCores = !w.DisableTensorCores
+	cfg.Async = w.Async
+	if w.ModelParallel {
+		cfg.Parallelism = train.ModelParallel
+		cfg.MicroBatches = w.MicroBatches
+	}
+	if w.HybridOWT {
+		cfg.Parallelism = train.HybridOWT
+	}
+	cfg.NCCLTree = w.NCCLTree
+	if w.BucketKB > 0 {
+		cfg.BucketBytes = units.Bytes(w.BucketKB) * units.KB
+	}
+	cfg.Checkpointing = w.Checkpointing
+	cfg.Winograd = w.Winograd
+	cfg.DetailIntervals = w.TraceIntervals
+	tr, err := train.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := tr.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Workload:           w,
+		Iterations:         res.Iterations,
+		EpochTime:          res.EpochTime,
+		SteadyIter:         res.SteadyIter,
+		Throughput:         res.Throughput,
+		FPBP:               res.FPBPWall(),
+		WU:                 res.WUWall,
+		Memory:             res.Memory,
+		SyncPercent:        res.SyncPercent,
+		ComputeUtilization: res.ComputeUtilization,
+		Profile:            res.Profile,
+	}, nil
+}
+
+// Compare runs the workload under both communication methods and returns
+// the reports keyed by method.
+func Compare(w Workload) (map[Method]*Report, error) {
+	out := make(map[Method]*Report, 2)
+	for _, m := range []Method{P2P, NCCL} {
+		wm := w
+		wm.Method = m
+		r, err := Run(wm)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", m, err)
+		}
+		out[m] = r
+	}
+	return out, nil
+}
+
+// Models lists the available model names.
+func Models() []string { return models.Names() }
+
+// Describe returns the zoo description of a model.
+func Describe(model string) (models.Description, error) {
+	return models.ByName(model)
+}
+
+// LayerProfile returns the analytical per-layer FP/BP characterization of
+// a model at a batch size on the default V100 (the layer-by-layer view of
+// the profiling work the paper cites).
+func LayerProfile(model string, batch int) ([]dnn.LayerStat, error) {
+	d, err := models.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	return dnn.ProfileLayers(d.Net, batch, gpu.V100(), dnn.PlanOptions{TensorCores: true}), nil
+}
+
+// EstimateMemory returns the per-GPU memory estimate without running a
+// simulation (multiGPU selects the parameter-server premium on GPU 0).
+func EstimateMemory(model string, batch int, multiGPU bool) (memmodel.Estimate, error) {
+	d, err := models.ByName(model)
+	if err != nil {
+		return memmodel.Estimate{}, err
+	}
+	return memmodel.Compute(d.Net, batch, multiGPU), nil
+}
+
+// Summary renders a one-paragraph textual summary of a report.
+func (r *Report) Summary() string {
+	return fmt.Sprintf(
+		"%s on %d GPU(s), batch %d/GPU, %s: epoch %v (%d iterations, %.0f img/s); "+
+			"FP+BP %v, exposed WU %v; GPU0 memory %.2f GiB; sync %.1f%%, utilization %.1f%%",
+		r.Workload.Model, r.Workload.GPUs, r.Workload.Batch, r.Workload.Method,
+		r.EpochTime.Round(time.Millisecond), r.Iterations, r.Throughput,
+		r.FPBP.Round(time.Millisecond), r.WU.Round(time.Millisecond),
+		r.Memory.Root().GiB(), r.SyncPercent, 100*r.ComputeUtilization)
+}

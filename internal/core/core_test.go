@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+func TestRunBasics(t *testing.T) {
+	r, err := Run(Workload{Model: "lenet", GPUs: 2, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EpochTime <= 0 || r.Throughput <= 0 {
+		t.Fatal("empty report")
+	}
+	if r.Workload.Method != NCCL {
+		t.Error("default method should be NCCL")
+	}
+	s := r.Summary()
+	for _, want := range []string{"lenet", "2 GPU", "nccl"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestRunUnknownModel(t *testing.T) {
+	if _, err := Run(Workload{Model: "vgg", GPUs: 1, Batch: 16}); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestRunOOM(t *testing.T) {
+	_, err := Run(Workload{Model: "resnet", GPUs: 2, Batch: 256})
+	if !errors.Is(err, gpu.ErrOutOfMemory) {
+		t.Errorf("expected OOM, got %v", err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	reps, err := Compare(Workload{Model: "lenet", GPUs: 4, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[P2P] == nil || reps[NCCL] == nil {
+		t.Fatal("compare should return both methods")
+	}
+	// The paper's finding for LeNet: P2P wins.
+	if reps[P2P].EpochTime >= reps[NCCL].EpochTime {
+		t.Error("P2P should beat NCCL for LeNet")
+	}
+}
+
+func TestWeakScalingWorkload(t *testing.T) {
+	strong, err := Run(Workload{Model: "lenet", GPUs: 4, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := Run(Workload{Model: "lenet", GPUs: 4, Batch: 16, WeakScaling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.Iterations != 4*strong.Iterations {
+		t.Errorf("weak iterations = %d, want 4x strong's %d", weak.Iterations, strong.Iterations)
+	}
+}
+
+func TestModelsAndDescribe(t *testing.T) {
+	names := Models()
+	if len(names) != 5 {
+		t.Fatalf("models = %v", names)
+	}
+	for _, n := range names {
+		d, err := Describe(n)
+		if err != nil || d.Net == nil {
+			t.Errorf("Describe(%q): %v", n, err)
+		}
+	}
+}
+
+func TestEstimateMemory(t *testing.T) {
+	e, err := EstimateMemory("alexnet", 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Root() <= e.Worker() {
+		t.Error("multi-GPU root should exceed worker")
+	}
+	if _, err := EstimateMemory("bogus", 64, true); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestTraceIntervalsFlowThrough(t *testing.T) {
+	r, err := Run(Workload{Model: "lenet", GPUs: 2, Batch: 16, TraceIntervals: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Profile.Intervals()) == 0 {
+		t.Error("trace intervals not retained")
+	}
+}
+
+func TestDisableTensorCores(t *testing.T) {
+	on, err := Run(Workload{Model: "resnet", GPUs: 1, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(Workload{Model: "resnet", GPUs: 1, Batch: 16, DisableTensorCores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.EpochTime <= on.EpochTime {
+		t.Error("disabling tensor cores should slow training")
+	}
+}

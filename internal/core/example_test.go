@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// ExampleRun simulates one training epoch and inspects the breakdown.
+func ExampleRun() {
+	report, err := core.Run(core.Workload{
+		Model:  "lenet",
+		GPUs:   4,
+		Batch:  16,
+		Method: core.P2P,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Iterations, "iterations")
+	fmt.Println(report.EpochTime > 0, report.FPBP > 0, report.WU > 0)
+	// Output:
+	// 4096 iterations
+	// true true true
+}
+
+// ExampleCompare answers the paper's central question for one workload.
+func ExampleCompare() {
+	reports, err := core.Compare(core.Workload{Model: "lenet", GPUs: 4, Batch: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if reports[core.P2P].EpochTime < reports[core.NCCL].EpochTime {
+		fmt.Println("P2P wins for LeNet")
+	} else {
+		fmt.Println("NCCL wins for LeNet")
+	}
+	// Output:
+	// P2P wins for LeNet
+}
+
+// ExampleEstimateMemory probes the 16 GB wall without running a simulation.
+func ExampleEstimateMemory() {
+	est, err := core.EstimateMemory("inception-v3", 64, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GPU0 needs more than 10 GiB: %v\n", est.Root().GiB() > 10)
+	// Output:
+	// GPU0 needs more than 10 GiB: true
+}
+
+// ExampleLayerProfile finds a network's most expensive layer.
+func ExampleLayerProfile() {
+	stats, err := core.LayerProfile("alexnet", 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := stats[0]
+	for _, s := range stats {
+		if s.Total() > top.Total() {
+			top = s
+		}
+	}
+	fmt.Println("most expensive layer:", top.Name)
+	// Output:
+	// most expensive layer: conv2
+}

@@ -1,0 +1,427 @@
+// Package cuda models the CUDA runtime surface the training frameworks sit
+// on: per-device host worker threads that pay per-API-call costs
+// (cudaLaunchKernel, cudaMemcpyAsync, cudaStreamSynchronize), streams whose
+// operations execute in order on device queues, and peer-to-peer memory
+// copies routed over the interconnect fabric. Every call is accounted into
+// a profiler.Profile, which is how the paper's CUDA-API overhead analysis
+// (its Table III) is reproduced.
+package cuda
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/interconnect"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// API names used in profiles, matching the CUDA runtime entry points nvprof
+// reports.
+const (
+	APILaunchKernel = "cudaLaunchKernel"
+	APIMemcpyAsync  = "cudaMemcpyAsync"
+	APIStreamSync   = "cudaStreamSynchronize"
+)
+
+// Costs are the host-side fixed costs of runtime calls.
+type Costs struct {
+	// LaunchKernel is the CPU time to enqueue one kernel.
+	LaunchKernel time.Duration
+	// MemcpyAsync is the CPU time to enqueue one async copy.
+	MemcpyAsync time.Duration
+	// StreamSyncOverhead is the fixed cost of a stream synchronize beyond
+	// the time spent blocked waiting for the device.
+	StreamSyncOverhead time.Duration
+}
+
+// DefaultCosts returns launch/copy/sync costs representative of CUDA 9 on
+// a Xeon-class host.
+func DefaultCosts() Costs {
+	return Costs{
+		LaunchKernel:       4 * time.Microsecond,
+		MemcpyAsync:        6 * time.Microsecond,
+		StreamSyncOverhead: 8 * time.Microsecond,
+	}
+}
+
+// Runtime binds devices, host threads, the fabric, and a profile.
+type Runtime struct {
+	eng     *sim.Engine
+	fabric  *interconnect.Fabric
+	devices map[topology.NodeID]*gpu.Device
+	hosts   map[topology.NodeID]*sim.Resource
+	engines map[topology.NodeID]*sim.Resource
+	prof    *profiler.Profile
+	costs   Costs
+	policy  topology.RoutePolicy
+	cpuRes  map[string]*sim.Resource
+}
+
+// NewRuntime creates devices and host threads for the listed GPUs. prof may
+// be nil to disable accounting.
+func NewRuntime(fabric *interconnect.Fabric, spec gpu.Spec, gpus []topology.NodeID, costs Costs, prof *profiler.Profile) (*Runtime, error) {
+	rt := &Runtime{
+		eng:     fabric.Engine(),
+		fabric:  fabric,
+		devices: make(map[topology.NodeID]*gpu.Device),
+		hosts:   make(map[topology.NodeID]*sim.Resource),
+		engines: make(map[topology.NodeID]*sim.Resource),
+		prof:    prof,
+		costs:   costs,
+		policy:  topology.RouteStagedNVLink,
+	}
+	for _, id := range gpus {
+		n, err := fabric.Topology().Node(id)
+		if err != nil {
+			return nil, err
+		}
+		if n.Kind != topology.GPU {
+			return nil, fmt.Errorf("cuda: node %d is a %s, not a GPU", id, n.Kind)
+		}
+		rt.devices[id] = gpu.NewDevice(rt.eng, id, spec)
+		rt.hosts[id] = sim.NewResource(rt.eng, fmt.Sprintf("GPU%d/host", id))
+		rt.engines[id] = sim.NewResource(rt.eng, fmt.Sprintf("GPU%d/engine", id))
+	}
+	return rt, nil
+}
+
+// SetRoutePolicy selects how peer copies without a direct NVLink are routed
+// (staged NVLink by default; PCIe fallback reproduces naive behaviour).
+func (rt *Runtime) SetRoutePolicy(p topology.RoutePolicy) { rt.policy = p }
+
+// Device returns the device model for a GPU.
+func (rt *Runtime) Device(id topology.NodeID) *gpu.Device { return rt.devices[id] }
+
+// Devices returns the IDs of all GPUs managed by the runtime, ascending.
+func (rt *Runtime) Devices() []topology.NodeID {
+	var ids []topology.NodeID
+	for id := range rt.devices {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// Fabric returns the interconnect.
+func (rt *Runtime) Fabric() *interconnect.Fabric { return rt.fabric }
+
+// Profile returns the profile (may be nil).
+func (rt *Runtime) Profile() *profiler.Profile { return rt.prof }
+
+// record adds an interval when profiling is enabled.
+func (rt *Runtime) record(iv profiler.Interval) {
+	if rt.prof != nil {
+		rt.prof.Record(iv)
+	}
+}
+
+// hostCall books a host-API call on one of the device's worker threads.
+// The framework uses distinct threads for kernel launching and for
+// dependency-engine communication issue (MXNet's engine workers); engine
+// selects the latter, so communication issue does not serialize behind the
+// launch loop.
+func (rt *Runtime) hostCall(dev topology.NodeID, api string, stage profiler.Stage, ready time.Duration, dur time.Duration, engine bool) (start, end time.Duration) {
+	res, track := rt.hosts[dev], fmt.Sprintf("GPU%d/host", dev)
+	if engine {
+		res, track = rt.engines[dev], fmt.Sprintf("GPU%d/engine", dev)
+	}
+	start, end = res.Book(ready, dur)
+	rt.record(profiler.Interval{
+		Kind: profiler.KindAPI, Name: api, Stage: stage,
+		Track: track, Start: start, End: end,
+	})
+	return start, end
+}
+
+// Stream is an in-order device work queue handle. Operations on a stream
+// begin in issue order and never before the previous operation completes.
+type Stream struct {
+	rt   *Runtime
+	dev  *gpu.Device
+	name string
+	tail time.Duration
+	comm bool
+}
+
+// Stream creates a compute stream on the device.
+func (rt *Runtime) Stream(dev topology.NodeID, name string) *Stream {
+	return &Stream{rt: rt, dev: rt.devices[dev], name: name}
+}
+
+// CommStream creates a stream whose kernels run on the device's
+// communication queue, overlapping compute (as NCCL's do).
+func (rt *Runtime) CommStream(dev topology.NodeID, name string) *Stream {
+	s := rt.Stream(dev, name)
+	s.comm = true
+	return s
+}
+
+// Device returns the stream's device.
+func (s *Stream) Device() *gpu.Device { return s.dev }
+
+// Tail returns the completion time of the last operation issued.
+func (s *Stream) Tail() time.Duration { return s.tail }
+
+// WaitEvent raises the stream's tail to at least tm without occupying any
+// resource — cudaStreamWaitEvent semantics, used to gate a stream on a
+// dependency completed elsewhere (e.g. staged input data).
+func (s *Stream) WaitEvent(tm time.Duration) {
+	if tm > s.tail {
+		s.tail = tm
+	}
+}
+
+// Launch enqueues a kernel: the host pays the launch cost starting at
+// hostReady; the kernel executes after both the launch and the stream's
+// previous work complete. It returns when the host call finishes and when
+// the kernel finishes.
+func (s *Stream) Launch(stage profiler.Stage, c gpu.KernelCost, hostReady time.Duration) (hostDone, kernelEnd time.Duration) {
+	_, hostDone = s.rt.hostCall(s.dev.ID, APILaunchKernel, stage, hostReady, s.rt.costs.LaunchKernel, s.comm)
+	ready := hostDone
+	if s.tail > ready {
+		ready = s.tail
+	}
+	var start, end time.Duration
+	if s.comm {
+		start, end = s.dev.BookCommKernel(ready, s.dev.Spec.KernelDuration(c))
+	} else {
+		start, end = s.dev.BookKernel(ready, c)
+	}
+	track := fmt.Sprintf("GPU%d/compute", s.dev.ID)
+	if s.comm {
+		track = fmt.Sprintf("GPU%d/comm", s.dev.ID)
+	}
+	s.rt.record(profiler.Interval{
+		Kind: profiler.KindKernel, Name: c.Name, Stage: stage,
+		Track: track, Start: start, End: end,
+	})
+	s.tail = end
+	return hostDone, end
+}
+
+// LaunchTimed enqueues a kernel whose device duration is supplied directly
+// (used by the NCCL model, whose kernel time is wire-limited rather than
+// roofline-limited).
+func (s *Stream) LaunchTimed(stage profiler.Stage, name string, dur time.Duration, hostReady, dataReady time.Duration) (hostDone, kernelEnd time.Duration) {
+	_, hostDone = s.rt.hostCall(s.dev.ID, APILaunchKernel, stage, hostReady, s.rt.costs.LaunchKernel, s.comm)
+	ready := hostDone
+	if s.tail > ready {
+		ready = s.tail
+	}
+	if dataReady > ready {
+		ready = dataReady
+	}
+	var start, end time.Duration
+	if s.comm {
+		start, end = s.dev.BookCommKernel(ready, dur)
+	} else {
+		start, end = s.dev.BookDMA(ready, dur) // non-comm timed ops are copies
+	}
+	track := fmt.Sprintf("GPU%d/comm", s.dev.ID)
+	s.rt.record(profiler.Interval{
+		Kind: profiler.KindKernel, Name: name, Stage: stage,
+		Track: track, Start: start, End: end,
+	})
+	s.tail = end
+	return hostDone, end
+}
+
+// HostLaunch books only the host-side cudaLaunchKernel cost (used by
+// collective models that compute device occupancy themselves) and returns
+// when the host call completes.
+func (s *Stream) HostLaunch(stage profiler.Stage, hostReady time.Duration) time.Duration {
+	_, end := s.rt.hostCall(s.dev.ID, APILaunchKernel, stage, hostReady, s.rt.costs.LaunchKernel, s.comm)
+	return end
+}
+
+// Extend occupies the stream from max(its tail, ready) until at least
+// `until`, recording the window as a kernel. Collectives use it to make
+// every rank's queue busy until the global completion of the operation.
+// It returns the stream's new tail.
+func (s *Stream) Extend(stage profiler.Stage, name string, ready, until time.Duration) time.Duration {
+	start := s.tail
+	if ready > start {
+		start = ready
+	}
+	dur := until - start
+	if dur < 0 {
+		dur = 0
+	}
+	var bs, be time.Duration
+	if s.comm {
+		bs, be = s.dev.BookCommKernel(start, dur)
+	} else {
+		bs, be = s.dev.BookDMA(start, dur)
+	}
+	s.rt.record(profiler.Interval{
+		Kind: profiler.KindKernel, Name: name, Stage: stage,
+		Track: fmt.Sprintf("GPU%d/comm", s.dev.ID), Start: bs, End: be,
+	})
+	s.tail = be
+	return be
+}
+
+// Synchronize blocks the host thread from hostReady until the stream
+// drains, plus a fixed overhead; the blocked window is recorded as
+// cudaStreamSynchronize (as nvprof accounts it). It returns when the host
+// resumes.
+func (s *Stream) Synchronize(stage profiler.Stage, hostReady time.Duration) time.Duration {
+	wait := s.tail
+	if wait < hostReady {
+		wait = hostReady
+	}
+	dur := wait - hostReady + s.rt.costs.StreamSyncOverhead
+	res, track := s.rt.hosts[s.dev.ID], fmt.Sprintf("GPU%d/host", s.dev.ID)
+	if s.comm {
+		res, track = s.rt.engines[s.dev.ID], fmt.Sprintf("GPU%d/engine", s.dev.ID)
+	}
+	start, end := res.Book(hostReady, dur)
+	s.rt.record(profiler.Interval{
+		Kind: profiler.KindAPI, Name: APIStreamSync, Stage: stage,
+		Track: track, Start: start, End: end,
+	})
+	return end
+}
+
+// HostWait blocks the device's launch thread from hostReady until target
+// (a dependency completion such as "all weights pulled"), recording the
+// blocked window as cudaStreamSynchronize — how nvprof accounts the
+// framework's WaitToRead. It returns when the host resumes.
+func (rt *Runtime) HostWait(dev topology.NodeID, stage profiler.Stage, hostReady, target time.Duration) time.Duration {
+	wait := target
+	if wait < hostReady {
+		wait = hostReady
+	}
+	dur := wait - hostReady + rt.costs.StreamSyncOverhead
+	start, end := rt.hosts[dev].Book(hostReady, dur)
+	rt.record(profiler.Interval{
+		Kind: profiler.KindAPI, Name: APIStreamSync, Stage: stage,
+		Track: fmt.Sprintf("GPU%d/host", dev), Start: start, End: end,
+	})
+	return end
+}
+
+// MemcpyPeer enqueues an async device-to-device copy of size bytes from
+// src to dst: the destination's engine thread pays the memcpy-API cost at
+// hostReady (MXNet's CopyFromTo runs on the destination context's worker);
+// the wire transfer begins once the API call completes and the source data
+// is ready (dataReady); multi-hop routes are store-and-forward per the
+// fabric. The source's copy engine is occupied for the transfer duration,
+// so a GPU fanning out to many peers serializes on its DMA engine even
+// when the links are distinct — the exposure the paper observes when GPU0
+// broadcasts updated weights. It returns the host-call end and the copy's
+// arrival time.
+func (rt *Runtime) MemcpyPeer(dst, src topology.NodeID, size units.Bytes, stage profiler.Stage, hostReady, dataReady time.Duration) (hostDone, end time.Duration, err error) {
+	path, err := rt.fabric.Topology().Route(src, dst, rt.policy)
+	if err != nil {
+		return 0, 0, err
+	}
+	issuer := dst
+	if rt.devices[issuer] == nil {
+		issuer = src
+	}
+	_, hostDone = rt.hostCall(issuer, APIMemcpyAsync, stage, hostReady, rt.costs.MemcpyAsync, true)
+	ready := hostDone
+	if dataReady > ready {
+		ready = dataReady
+	}
+	start, end := rt.fabric.Book(path, size, ready)
+	if dev := rt.devices[src]; dev != nil {
+		if _, dmaEnd := dev.BookDMA(start, end-start); dmaEnd > end {
+			end = dmaEnd
+		}
+	}
+	rt.record(profiler.Interval{
+		Kind: profiler.KindTransfer, Name: fmt.Sprintf("memcpyP2P %d->%d", src, dst),
+		Stage: stage, Track: fmt.Sprintf("xfer %d->%d", src, dst),
+		Start: start, End: end,
+	})
+	return hostDone, end, nil
+}
+
+// MemcpyHostToDevice enqueues a host-to-device copy over the GPU's PCIe
+// link (training-data staging).
+func (rt *Runtime) MemcpyHostToDevice(dst topology.NodeID, size units.Bytes, stage profiler.Stage, hostReady time.Duration) (hostDone, end time.Duration, err error) {
+	top := rt.fabric.Topology()
+	host, err := top.HostCPU(dst)
+	if err != nil {
+		return 0, 0, err
+	}
+	link := top.DirectLink(dst, host, topology.PCIe)
+	if link == nil {
+		return 0, 0, fmt.Errorf("cuda: GPU %d has no PCIe link", dst)
+	}
+	path := topology.Path{Hops: []topology.Hop{{Link: link, From: host, To: dst}}}
+	_, hostDone = rt.hostCall(dst, APIMemcpyAsync, stage, hostReady, rt.costs.MemcpyAsync, true)
+	start, end := rt.fabric.Book(path, size, hostDone)
+	rt.record(profiler.Interval{
+		Kind: profiler.KindTransfer, Name: fmt.Sprintf("memcpyHtoD ->%d", dst),
+		Stage: stage, Track: fmt.Sprintf("xfer H->%d", dst),
+		Start: start, End: end,
+	})
+	return hostDone, end, nil
+}
+
+// MemcpyDeviceToHost enqueues a device-to-host copy over the GPU's PCIe
+// link (gradient upload for a CPU parameter server).
+func (rt *Runtime) MemcpyDeviceToHost(src topology.NodeID, size units.Bytes, stage profiler.Stage, hostReady, dataReady time.Duration) (hostDone, end time.Duration, err error) {
+	top := rt.fabric.Topology()
+	host, err := top.HostCPU(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	link := top.DirectLink(src, host, topology.PCIe)
+	if link == nil {
+		return 0, 0, fmt.Errorf("cuda: GPU %d has no PCIe link", src)
+	}
+	path := topology.Path{Hops: []topology.Hop{{Link: link, From: src, To: host}}}
+	_, hostDone = rt.hostCall(src, APIMemcpyAsync, stage, hostReady, rt.costs.MemcpyAsync, true)
+	ready := hostDone
+	if dataReady > ready {
+		ready = dataReady
+	}
+	start, end := rt.fabric.Book(path, size, ready)
+	rt.record(profiler.Interval{
+		Kind: profiler.KindTransfer, Name: fmt.Sprintf("memcpyDtoH %d->", src),
+		Stage: stage, Track: fmt.Sprintf("xfer %d->H", src),
+		Start: start, End: end,
+	})
+	return hostDone, end, nil
+}
+
+// CPUWork books dur of computation on the named CPU-side resource (the
+// parameter-server update loop of MXNet's "local" kvstore), creating the
+// resource on first use.
+func (rt *Runtime) CPUWork(name string, stage profiler.Stage, ready time.Duration, dur time.Duration) (start, end time.Duration) {
+	res := rt.cpuRes[name]
+	if res == nil {
+		if rt.cpuRes == nil {
+			rt.cpuRes = map[string]*sim.Resource{}
+		}
+		res = sim.NewResource(rt.eng, name)
+		rt.cpuRes[name] = res
+	}
+	start, end = res.Book(ready, dur)
+	rt.record(profiler.Interval{
+		Kind: profiler.KindMarker, Name: name, Stage: stage,
+		Track: name, Start: start, End: end,
+	})
+	return start, end
+}
+
+// Route exposes the runtime's routed path between two GPUs under its
+// current policy (used by the communication backends for cost planning).
+func (rt *Runtime) Route(src, dst topology.NodeID) (topology.Path, error) {
+	return rt.fabric.Topology().Route(src, dst, rt.policy)
+}
+
+// Costs returns the runtime's host API costs.
+func (rt *Runtime) Costs() Costs { return rt.costs }

@@ -1,0 +1,93 @@
+// Package data describes training datasets and mini-batch schedules. The
+// simulator never touches pixel values — epoch structure (how many
+// iterations, how many bytes staged to each GPU) is what the measurements
+// consume.
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/units"
+)
+
+// Dataset is a training set descriptor.
+type Dataset struct {
+	Name   string
+	Images int64
+}
+
+// ImageNetSubset returns the paper's 256K-image ImageNet subset (scaled by
+// a factor for weak scaling).
+func ImageNetSubset(images int64) Dataset {
+	return Dataset{Name: "imagenet-subset", Images: images}
+}
+
+// PaperDatasetImages is the strong-scaling dataset size (256K images).
+const PaperDatasetImages int64 = 256 * 1024
+
+// Scaling selects how the dataset grows with GPU count.
+type Scaling int
+
+// Scaling regimes (paper §IV-C).
+const (
+	// StrongScaling keeps the dataset fixed as GPUs are added.
+	StrongScaling Scaling = iota
+	// WeakScaling grows the dataset proportionally to GPU count
+	// (256K, 512K, 1M, 2M images for 1, 2, 4, 8 GPUs).
+	WeakScaling
+)
+
+// String names the regime.
+func (s Scaling) String() string {
+	if s == WeakScaling {
+		return "weak"
+	}
+	return "strong"
+}
+
+// EffectiveImages returns the dataset size for a GPU count under the
+// scaling regime.
+func EffectiveImages(base int64, gpus int, s Scaling) int64 {
+	if s == WeakScaling {
+		return base * int64(gpus)
+	}
+	return base
+}
+
+// Schedule is one epoch's mini-batch plan.
+type Schedule struct {
+	Images      int64
+	BatchPerGPU int
+	GPUs        int
+	// Iterations is the number of synchronous steps in the epoch; every
+	// GPU processes one mini-batch per iteration.
+	Iterations int64
+	// ImageBytes is the staged size of one input image.
+	ImageBytes units.Bytes
+}
+
+// NewSchedule plans an epoch. Images that do not fill a final global batch
+// still cost an iteration (ceil division), matching framework behaviour.
+func NewSchedule(ds Dataset, input dnn.Shape, batchPerGPU, gpus int) (Schedule, error) {
+	if batchPerGPU <= 0 || gpus <= 0 {
+		return Schedule{}, fmt.Errorf("data: bad schedule batch=%d gpus=%d", batchPerGPU, gpus)
+	}
+	if ds.Images <= 0 {
+		return Schedule{}, fmt.Errorf("data: empty dataset %q", ds.Name)
+	}
+	global := int64(batchPerGPU) * int64(gpus)
+	iters := (ds.Images + global - 1) / global
+	return Schedule{
+		Images:      ds.Images,
+		BatchPerGPU: batchPerGPU,
+		GPUs:        gpus,
+		Iterations:  iters,
+		ImageBytes:  units.BytesOf(input.Elems(), units.Float32Size),
+	}, nil
+}
+
+// BatchBytes returns the size of one GPU's staged mini-batch.
+func (s Schedule) BatchBytes() units.Bytes {
+	return s.ImageBytes * units.Bytes(s.BatchPerGPU)
+}

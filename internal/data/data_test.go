@@ -1,0 +1,92 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dnn"
+	"repro/internal/units"
+)
+
+var input224 = dnn.Shape{C: 3, H: 224, W: 224}
+
+func TestScheduleIterations(t *testing.T) {
+	ds := ImageNetSubset(PaperDatasetImages)
+	s, err := NewSchedule(ds, input224, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Iterations != 4096 {
+		t.Errorf("iterations = %d, want 4096 (256K / (16*4))", s.Iterations)
+	}
+}
+
+func TestScheduleCeil(t *testing.T) {
+	s, err := NewSchedule(Dataset{Name: "x", Images: 100}, input224, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2 (ceil(100/64))", s.Iterations)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	ds := ImageNetSubset(PaperDatasetImages)
+	if _, err := NewSchedule(ds, input224, 0, 4); err == nil {
+		t.Error("zero batch should error")
+	}
+	if _, err := NewSchedule(ds, input224, 16, 0); err == nil {
+		t.Error("zero gpus should error")
+	}
+	if _, err := NewSchedule(Dataset{}, input224, 16, 1); err == nil {
+		t.Error("empty dataset should error")
+	}
+}
+
+func TestEffectiveImages(t *testing.T) {
+	if got := EffectiveImages(PaperDatasetImages, 8, StrongScaling); got != PaperDatasetImages {
+		t.Errorf("strong scaling changed dataset: %d", got)
+	}
+	if got := EffectiveImages(PaperDatasetImages, 8, WeakScaling); got != 8*PaperDatasetImages {
+		t.Errorf("weak scaling = %d, want 8x", got)
+	}
+}
+
+func TestScalingString(t *testing.T) {
+	if StrongScaling.String() != "strong" || WeakScaling.String() != "weak" {
+		t.Error("scaling names wrong")
+	}
+}
+
+func TestBatchBytes(t *testing.T) {
+	s, err := NewSchedule(ImageNetSubset(1024), input224, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.BytesOf(int64(3*224*224), units.Float32Size) * 32
+	if s.BatchBytes() != want {
+		t.Errorf("batch bytes = %v, want %v", s.BatchBytes(), want)
+	}
+}
+
+// Property: weak scaling keeps per-GPU iteration count constant; strong
+// scaling divides it by the GPU count (up to ceil rounding).
+func TestScalingIterationProperty(t *testing.T) {
+	f := func(g uint8) bool {
+		gpus := 1 << (g % 4) // 1,2,4,8
+		base := PaperDatasetImages
+		weak, err := NewSchedule(ImageNetSubset(EffectiveImages(base, gpus, WeakScaling)), input224, 16, gpus)
+		if err != nil {
+			return false
+		}
+		one, err := NewSchedule(ImageNetSubset(base), input224, 16, 1)
+		if err != nil {
+			return false
+		}
+		return weak.Iterations == one.Iterations
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

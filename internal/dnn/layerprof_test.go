@@ -1,0 +1,89 @@
+package dnn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+func TestProfileLayersBasics(t *testing.T) {
+	n := buildTiny()
+	stats := ProfileLayers(n, 16, gpu.V100(), PlanOptions{TensorCores: true})
+	// conv, relu, fc, softmax (input and flatten omitted).
+	if len(stats) != 4 {
+		t.Fatalf("stats = %d, want 4", len(stats))
+	}
+	for _, s := range stats {
+		if s.FPTime <= 0 || s.BPTime <= 0 {
+			t.Errorf("%s: non-positive times %v/%v", s.Name, s.FPTime, s.BPTime)
+		}
+		if s.BoundBy == "" {
+			t.Errorf("%s: missing roofline class", s.Name)
+		}
+	}
+}
+
+func TestProfileLayersSumsMatchPlans(t *testing.T) {
+	n := buildTiny()
+	spec := gpu.V100()
+	opt := PlanOptions{}
+	stats := ProfileLayers(n, 8, spec, opt)
+	var statTotal int64
+	for _, s := range stats {
+		statTotal += int64(s.FPTime) + int64(s.BPTime)
+	}
+	planTotal := PlanDuration(spec, n.ForwardPlan(8, opt))
+	for _, step := range n.BackwardPlan(8, opt) {
+		planTotal += PlanDuration(spec, step.Kernels)
+	}
+	if statTotal != planTotal {
+		t.Errorf("stat total %d != plan total %d", statTotal, planTotal)
+	}
+}
+
+func TestBoundByClassification(t *testing.T) {
+	spec := gpu.V100()
+	// A large GEMM-like kernel: compute bound.
+	compute := gpu.KernelCost{FLOPs: 100e9, MemBytes: 1 << 20, Parallelism: 1 << 30, Class: gpu.ClassFMA}
+	if got := boundBy(spec, compute); got != "compute" {
+		t.Errorf("big GEMM classified %q", got)
+	}
+	// A streaming elementwise kernel: memory bound.
+	memory := gpu.KernelCost{FLOPs: 1e6, MemBytes: 1 << 30, Parallelism: 1 << 30, Class: gpu.ClassMemory}
+	if got := boundBy(spec, memory); got != "memory" {
+		t.Errorf("streaming kernel classified %q", got)
+	}
+	// A tiny kernel: overhead bound.
+	tiny := gpu.KernelCost{FLOPs: 100, MemBytes: 128, Parallelism: 64, Class: gpu.ClassFMA}
+	if got := boundBy(spec, tiny); got != "overhead" {
+		t.Errorf("tiny kernel classified %q", got)
+	}
+}
+
+func TestTopLayersOrdering(t *testing.T) {
+	n := buildTiny()
+	stats := ProfileLayers(n, 64, gpu.V100(), PlanOptions{})
+	top := TopLayers(stats, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %d", len(top))
+	}
+	if top[0].Total() < top[1].Total() {
+		t.Error("top layers not sorted by total time")
+	}
+	all := TopLayers(stats, 0)
+	if len(all) != len(stats) {
+		t.Error("k=0 should return all")
+	}
+}
+
+func TestFormatLayerTable(t *testing.T) {
+	n := buildTiny()
+	stats := ProfileLayers(n, 16, gpu.V100(), PlanOptions{})
+	s := FormatLayerTable(stats)
+	for _, want := range []string{"layer", "conv", "fc", "bound-by"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,497 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// OpKind identifies the operator type.
+type OpKind int
+
+// Operator kinds.
+const (
+	OpInput OpKind = iota
+	OpConv
+	OpFC
+	OpPool
+	OpActivation
+	OpLRN
+	OpBatchNorm
+	OpDropout
+	OpConcat
+	OpAdd
+	OpFlatten
+	OpSoftmax
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpInput:
+		return "input"
+	case OpConv:
+		return "conv"
+	case OpFC:
+		return "fc"
+	case OpPool:
+		return "pool"
+	case OpActivation:
+		return "activation"
+	case OpLRN:
+		return "lrn"
+	case OpBatchNorm:
+		return "batchnorm"
+	case OpDropout:
+		return "dropout"
+	case OpConcat:
+		return "concat"
+	case OpAdd:
+		return "add"
+	case OpFlatten:
+		return "flatten"
+	case OpSoftmax:
+		return "softmax"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op describes an operator's shape, parameter, and cost semantics. All
+// per-image quantities are later multiplied by batch size by the planner.
+type Op interface {
+	Kind() OpKind
+	// InferShape computes the output shape from the input shapes.
+	InferShape(ins []Shape) (Shape, error)
+	// Params returns the number of trainable parameters.
+	Params(ins []Shape, out Shape) int64
+	// FwdFLOPs returns forward arithmetic per image.
+	FwdFLOPs(ins []Shape, out Shape) units.FLOPs
+	// Weighted reports whether the op carries trainable weights that
+	// participate in gradient exchange.
+	Weighted() bool
+}
+
+func one(ins []Shape) (Shape, error) {
+	if len(ins) != 1 {
+		return Shape{}, fmt.Errorf("dnn: expected 1 input, got %d", len(ins))
+	}
+	if !ins[0].Valid() {
+		return Shape{}, fmt.Errorf("dnn: invalid input shape %v", ins[0])
+	}
+	return ins[0], nil
+}
+
+// Input is the data source pseudo-op.
+type Input struct{ Shape Shape }
+
+// Kind implements Op.
+func (Input) Kind() OpKind { return OpInput }
+
+// InferShape implements Op.
+func (i Input) InferShape(ins []Shape) (Shape, error) {
+	if len(ins) != 0 {
+		return Shape{}, fmt.Errorf("dnn: input takes no inputs")
+	}
+	if !i.Shape.Valid() {
+		return Shape{}, fmt.Errorf("dnn: invalid input shape %v", i.Shape)
+	}
+	return i.Shape, nil
+}
+
+// Params implements Op.
+func (Input) Params([]Shape, Shape) int64 { return 0 }
+
+// FwdFLOPs implements Op.
+func (Input) FwdFLOPs([]Shape, Shape) units.FLOPs { return 0 }
+
+// Weighted implements Op.
+func (Input) Weighted() bool { return false }
+
+// Conv is a 2-D convolution.
+type Conv struct {
+	OutC       int
+	KH, KW     int
+	StrideH    int
+	StrideW    int
+	PadH, PadW int
+	Bias       bool
+	// Groups partitions input/output channels (AlexNet's historical
+	// grouping). Zero means 1.
+	Groups int
+}
+
+// Kind implements Op.
+func (Conv) Kind() OpKind { return OpConv }
+
+func (c Conv) groups() int {
+	if c.Groups <= 0 {
+		return 1
+	}
+	return c.Groups
+}
+
+func (c Conv) strides() (int, int) {
+	sh, sw := c.StrideH, c.StrideW
+	if sh <= 0 {
+		sh = 1
+	}
+	if sw <= 0 {
+		sw = sh
+	}
+	return sh, sw
+}
+
+// InferShape implements Op.
+func (c Conv) InferShape(ins []Shape) (Shape, error) {
+	in, err := one(ins)
+	if err != nil {
+		return Shape{}, err
+	}
+	if c.OutC <= 0 || c.KH <= 0 || c.KW <= 0 {
+		return Shape{}, fmt.Errorf("dnn: bad conv config %+v", c)
+	}
+	if in.C%c.groups() != 0 || c.OutC%c.groups() != 0 {
+		return Shape{}, fmt.Errorf("dnn: conv groups %d do not divide channels %d->%d", c.groups(), in.C, c.OutC)
+	}
+	sh, sw := c.strides()
+	oh := (in.H+2*c.PadH-c.KH)/sh + 1
+	ow := (in.W+2*c.PadW-c.KW)/sw + 1
+	if oh <= 0 || ow <= 0 {
+		return Shape{}, fmt.Errorf("dnn: conv output collapses: in=%v k=%dx%d s=%d,%d p=%d,%d", in, c.KH, c.KW, sh, sw, c.PadH, c.PadW)
+	}
+	return Shape{C: c.OutC, H: oh, W: ow}, nil
+}
+
+// Params implements Op.
+func (c Conv) Params(ins []Shape, _ Shape) int64 {
+	in := ins[0]
+	g := int64(c.groups())
+	w := int64(c.KH) * int64(c.KW) * (int64(in.C) / g) * int64(c.OutC)
+	if c.Bias {
+		w += int64(c.OutC)
+	}
+	return w
+}
+
+// FwdFLOPs implements Op: 2 FLOPs per MAC over every output element.
+func (c Conv) FwdFLOPs(ins []Shape, out Shape) units.FLOPs {
+	in := ins[0]
+	g := int64(c.groups())
+	macsPerOut := int64(c.KH) * int64(c.KW) * (int64(in.C) / g)
+	return units.FLOPs(2 * macsPerOut * out.Elems())
+}
+
+// Weighted implements Op.
+func (Conv) Weighted() bool { return true }
+
+// FC is a fully-connected (dense) layer.
+type FC struct {
+	OutF int
+	Bias bool
+}
+
+// Kind implements Op.
+func (FC) Kind() OpKind { return OpFC }
+
+// InferShape implements Op.
+func (f FC) InferShape(ins []Shape) (Shape, error) {
+	in, err := one(ins)
+	if err != nil {
+		return Shape{}, err
+	}
+	if f.OutF <= 0 {
+		return Shape{}, fmt.Errorf("dnn: bad fc output features %d", f.OutF)
+	}
+	_ = in
+	return Vec(f.OutF), nil
+}
+
+// Params implements Op.
+func (f FC) Params(ins []Shape, _ Shape) int64 {
+	in := ins[0].Elems()
+	w := in * int64(f.OutF)
+	if f.Bias {
+		w += int64(f.OutF)
+	}
+	return w
+}
+
+// FwdFLOPs implements Op.
+func (f FC) FwdFLOPs(ins []Shape, _ Shape) units.FLOPs {
+	return units.FLOPs(2 * ins[0].Elems() * int64(f.OutF))
+}
+
+// Weighted implements Op.
+func (FC) Weighted() bool { return true }
+
+// PoolMode selects pooling behaviour.
+type PoolMode int
+
+// Pooling modes.
+const (
+	MaxPool PoolMode = iota
+	AvgPool
+)
+
+// Pool is a spatial pooling layer.
+type Pool struct {
+	Mode   PoolMode
+	K      int
+	Stride int
+	Pad    int
+	// Global pools the whole feature map to 1x1 regardless of K.
+	Global bool
+}
+
+// Kind implements Op.
+func (Pool) Kind() OpKind { return OpPool }
+
+// InferShape implements Op.
+func (p Pool) InferShape(ins []Shape) (Shape, error) {
+	in, err := one(ins)
+	if err != nil {
+		return Shape{}, err
+	}
+	if p.Global {
+		return Shape{C: in.C, H: 1, W: 1}, nil
+	}
+	if p.K <= 0 {
+		return Shape{}, fmt.Errorf("dnn: bad pool kernel %d", p.K)
+	}
+	s := p.Stride
+	if s <= 0 {
+		s = p.K
+	}
+	// Ceil division mirrors the frameworks' default pooling convention.
+	oh := ceilDiv(in.H+2*p.Pad-p.K, s) + 1
+	ow := ceilDiv(in.W+2*p.Pad-p.K, s) + 1
+	if oh <= 0 || ow <= 0 {
+		return Shape{}, fmt.Errorf("dnn: pool output collapses: in=%v k=%d s=%d", in, p.K, s)
+	}
+	return Shape{C: in.C, H: oh, W: ow}, nil
+}
+
+func ceilDiv(a, b int) int {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// Params implements Op.
+func (Pool) Params([]Shape, Shape) int64 { return 0 }
+
+// FwdFLOPs implements Op: one compare/add per window element.
+func (p Pool) FwdFLOPs(ins []Shape, out Shape) units.FLOPs {
+	k := int64(p.K)
+	if p.Global {
+		return units.FLOPs(ins[0].Elems())
+	}
+	return units.FLOPs(out.Elems() * k * k)
+}
+
+// Weighted implements Op.
+func (Pool) Weighted() bool { return false }
+
+// ActMode selects the activation function.
+type ActMode int
+
+// Activation functions.
+const (
+	ReLU ActMode = iota
+	Sigmoid
+	Tanh
+)
+
+// Activation is an elementwise nonlinearity.
+type Activation struct{ Mode ActMode }
+
+// Kind implements Op.
+func (Activation) Kind() OpKind { return OpActivation }
+
+// InferShape implements Op.
+func (Activation) InferShape(ins []Shape) (Shape, error) { return one(ins) }
+
+// Params implements Op.
+func (Activation) Params([]Shape, Shape) int64 { return 0 }
+
+// FwdFLOPs implements Op.
+func (a Activation) FwdFLOPs(ins []Shape, _ Shape) units.FLOPs {
+	per := int64(1)
+	if a.Mode != ReLU {
+		per = 4 // exp-based activations cost a few ops each
+	}
+	return units.FLOPs(per * ins[0].Elems())
+}
+
+// Weighted implements Op.
+func (Activation) Weighted() bool { return false }
+
+// LRN is AlexNet-era local response normalization.
+type LRN struct{ Size int }
+
+// Kind implements Op.
+func (LRN) Kind() OpKind { return OpLRN }
+
+// InferShape implements Op.
+func (LRN) InferShape(ins []Shape) (Shape, error) { return one(ins) }
+
+// Params implements Op.
+func (LRN) Params([]Shape, Shape) int64 { return 0 }
+
+// FwdFLOPs implements Op.
+func (l LRN) FwdFLOPs(ins []Shape, _ Shape) units.FLOPs {
+	n := int64(l.Size)
+	if n <= 0 {
+		n = 5
+	}
+	return units.FLOPs(2 * n * ins[0].Elems())
+}
+
+// Weighted implements Op.
+func (LRN) Weighted() bool { return false }
+
+// BatchNorm is batch normalization (scale and shift are its trainable
+// parameters).
+type BatchNorm struct{}
+
+// Kind implements Op.
+func (BatchNorm) Kind() OpKind { return OpBatchNorm }
+
+// InferShape implements Op.
+func (BatchNorm) InferShape(ins []Shape) (Shape, error) { return one(ins) }
+
+// Params implements Op.
+func (BatchNorm) Params(ins []Shape, _ Shape) int64 { return 2 * int64(ins[0].C) }
+
+// FwdFLOPs implements Op.
+func (BatchNorm) FwdFLOPs(ins []Shape, _ Shape) units.FLOPs {
+	return units.FLOPs(4 * ins[0].Elems())
+}
+
+// Weighted implements Op.
+func (BatchNorm) Weighted() bool { return true }
+
+// Dropout zeroes a fraction of activations during training.
+type Dropout struct{ P float64 }
+
+// Kind implements Op.
+func (Dropout) Kind() OpKind { return OpDropout }
+
+// InferShape implements Op.
+func (Dropout) InferShape(ins []Shape) (Shape, error) { return one(ins) }
+
+// Params implements Op.
+func (Dropout) Params([]Shape, Shape) int64 { return 0 }
+
+// FwdFLOPs implements Op.
+func (Dropout) FwdFLOPs(ins []Shape, _ Shape) units.FLOPs {
+	return units.FLOPs(ins[0].Elems())
+}
+
+// Weighted implements Op.
+func (Dropout) Weighted() bool { return false }
+
+// Concat joins inputs along the channel dimension (inception modules).
+type Concat struct{}
+
+// Kind implements Op.
+func (Concat) Kind() OpKind { return OpConcat }
+
+// InferShape implements Op.
+func (Concat) InferShape(ins []Shape) (Shape, error) {
+	if len(ins) < 2 {
+		return Shape{}, fmt.Errorf("dnn: concat needs >= 2 inputs, got %d", len(ins))
+	}
+	out := ins[0]
+	for _, in := range ins[1:] {
+		if in.H != out.H || in.W != out.W {
+			return Shape{}, fmt.Errorf("dnn: concat spatial mismatch %v vs %v", out, in)
+		}
+		out.C += in.C
+	}
+	return out, nil
+}
+
+// Params implements Op.
+func (Concat) Params([]Shape, Shape) int64 { return 0 }
+
+// FwdFLOPs implements Op (pure data movement).
+func (Concat) FwdFLOPs([]Shape, Shape) units.FLOPs { return 0 }
+
+// Weighted implements Op.
+func (Concat) Weighted() bool { return false }
+
+// Add sums inputs elementwise (residual shortcuts).
+type Add struct{}
+
+// Kind implements Op.
+func (Add) Kind() OpKind { return OpAdd }
+
+// InferShape implements Op.
+func (Add) InferShape(ins []Shape) (Shape, error) {
+	if len(ins) < 2 {
+		return Shape{}, fmt.Errorf("dnn: add needs >= 2 inputs, got %d", len(ins))
+	}
+	for _, in := range ins[1:] {
+		if in != ins[0] {
+			return Shape{}, fmt.Errorf("dnn: add shape mismatch %v vs %v", ins[0], in)
+		}
+	}
+	return ins[0], nil
+}
+
+// Params implements Op.
+func (Add) Params([]Shape, Shape) int64 { return 0 }
+
+// FwdFLOPs implements Op.
+func (Add) FwdFLOPs(ins []Shape, out Shape) units.FLOPs {
+	return units.FLOPs(int64(len(ins)-1) * out.Elems())
+}
+
+// Weighted implements Op.
+func (Add) Weighted() bool { return false }
+
+// Flatten reshapes a feature map to a vector.
+type Flatten struct{}
+
+// Kind implements Op.
+func (Flatten) Kind() OpKind { return OpFlatten }
+
+// InferShape implements Op.
+func (Flatten) InferShape(ins []Shape) (Shape, error) {
+	in, err := one(ins)
+	if err != nil {
+		return Shape{}, err
+	}
+	return Vec(int(in.Elems())), nil
+}
+
+// Params implements Op.
+func (Flatten) Params([]Shape, Shape) int64 { return 0 }
+
+// FwdFLOPs implements Op.
+func (Flatten) FwdFLOPs([]Shape, Shape) units.FLOPs { return 0 }
+
+// Weighted implements Op.
+func (Flatten) Weighted() bool { return false }
+
+// Softmax is the classification head.
+type Softmax struct{}
+
+// Kind implements Op.
+func (Softmax) Kind() OpKind { return OpSoftmax }
+
+// InferShape implements Op.
+func (Softmax) InferShape(ins []Shape) (Shape, error) { return one(ins) }
+
+// Params implements Op.
+func (Softmax) Params([]Shape, Shape) int64 { return 0 }
+
+// FwdFLOPs implements Op.
+func (Softmax) FwdFLOPs(ins []Shape, _ Shape) units.FLOPs {
+	return units.FLOPs(5 * ins[0].Elems())
+}
+
+// Weighted implements Op.
+func (Softmax) Weighted() bool { return false }

@@ -1,0 +1,279 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/units"
+)
+
+// PlanOptions tunes how network layers are lowered to kernels.
+type PlanOptions struct {
+	// TensorCores lowers convolutions and fully-connected GEMMs to the
+	// tensor-core pipeline (the V100 feature the paper highlights);
+	// otherwise they use FP32 FMA pipes.
+	TensorCores bool
+	// Winograd lowers eligible 3x3 stride-1 convolutions through the
+	// F(2x2,3x3) Winograd transform — 2.25x fewer multiplies at the cost
+	// of transform overhead (a cuDNN algorithm choice of the paper's era;
+	// the kernel-level optimization axis of the related work).
+	Winograd bool
+}
+
+// winogradSavings is the arithmetic reduction of F(2x2,3x3); winogradEff
+// discounts for the input/output transforms.
+const (
+	winogradSavings = 2.25
+	winogradEff     = 0.80
+)
+
+// winogradEligible reports whether a conv can take the Winograd path.
+func winogradEligible(op Op) bool {
+	c, ok := op.(Conv)
+	if !ok {
+		return false
+	}
+	sh, sw := c.strides()
+	return c.KH == 3 && c.KW == 3 && sh == 1 && sw == 1 && c.groups() == 1
+}
+
+// Achievable fractions of the respective peaks, calibrated so V100
+// throughput lands in the range frameworks of the paper's era reported
+// (ResNet-50-class networks at a few hundred images/s/GPU).
+const (
+	convTensorEff = 0.10
+	convFMAEff    = 0.45
+	fcEff         = 0.25
+)
+
+// gemmCost classifies a conv/FC kernel.
+func gemmCost(opt PlanOptions, effFMA float64, effTensor float64) (gpu.KernelClass, float64) {
+	if opt.TensorCores {
+		return gpu.ClassTensor, effTensor
+	}
+	return gpu.ClassFMA, effFMA
+}
+
+// forwardKernel lowers one node's forward pass.
+func forwardKernel(n *Node, batch int, opt PlanOptions) gpu.KernelCost {
+	b := int64(batch)
+	mem := (n.InputBytesPerImage()+n.ActivationBytesPerImage())*units.Bytes(b) +
+		units.BytesOf(n.ParamsN, units.Float32Size)
+	c := gpu.KernelCost{
+		Name:        n.Op.Kind().String() + "_fprop",
+		FLOPs:       n.FwdFLOPs * units.FLOPs(b),
+		MemBytes:    mem,
+		Parallelism: n.Out.Elems() * b,
+	}
+	switch n.Op.Kind() {
+	case OpConv:
+		c.Class, c.Eff = gemmCost(opt, convFMAEff, convTensorEff)
+		if opt.Winograd && winogradEligible(n.Op) {
+			c.Name = "conv_winograd_fprop"
+			c.FLOPs = units.FLOPs(float64(c.FLOPs) / winogradSavings)
+			c.Eff *= winogradEff
+		}
+	case OpFC:
+		c.Class, c.Eff = gemmCost(opt, fcEff, fcEff/2)
+	default:
+		c.Class = gpu.ClassMemory
+	}
+	return c
+}
+
+// ForwardPlan lowers the network's forward pass for one mini-batch into an
+// ordered kernel sequence (input and zero-cost reshape nodes emit nothing).
+func (n *Network) ForwardPlan(batch int, opt PlanOptions) []gpu.KernelCost {
+	if batch <= 0 {
+		panic(fmt.Sprintf("dnn: bad batch size %d", batch))
+	}
+	var plan []gpu.KernelCost
+	for _, nd := range n.nodes {
+		switch nd.Op.Kind() {
+		case OpInput, OpFlatten:
+			continue
+		}
+		plan = append(plan, forwardKernel(nd, batch, opt))
+	}
+	return plan
+}
+
+// BackwardStep is one node's backward pass: its kernels, and — if the node
+// carries weights — the parameter array whose gradient becomes available
+// when the step completes. The weight-update stage begins exchanging that
+// gradient immediately (MXNet's BP/WU pipelining).
+type BackwardStep struct {
+	Node    *Node
+	Kernels []gpu.KernelCost
+	// Layer is non-nil when this step produces a weight gradient.
+	Layer *WeightedLayer
+}
+
+// BackwardPlan lowers the backward pass in reverse topological order.
+func (n *Network) BackwardPlan(batch int, opt PlanOptions) []BackwardStep {
+	if batch <= 0 {
+		panic(fmt.Sprintf("dnn: bad batch size %d", batch))
+	}
+	b := int64(batch)
+	var steps []BackwardStep
+	for i := len(n.nodes) - 1; i >= 0; i-- {
+		nd := n.nodes[i]
+		switch nd.Op.Kind() {
+		case OpInput, OpFlatten:
+			continue
+		}
+		kind := nd.Op.Kind().String()
+		inB := nd.InputBytesPerImage() * units.Bytes(b)
+		outB := nd.ActivationBytesPerImage() * units.Bytes(b)
+		paramB := units.BytesOf(nd.ParamsN, units.Float32Size)
+		step := BackwardStep{Node: nd}
+		switch nd.Op.Kind() {
+		case OpConv, OpFC:
+			class, eff := gemmCost(opt, convFMAEff, convTensorEff)
+			flopScale := 1.0
+			if nd.Op.Kind() == OpFC {
+				class, eff = gemmCost(opt, fcEff, fcEff/2)
+			} else if opt.Winograd && winogradEligible(nd.Op) {
+				flopScale = 1 / winogradSavings
+				eff *= winogradEff
+			}
+			// Data gradient: same arithmetic as forward.
+			step.Kernels = append(step.Kernels, gpu.KernelCost{
+				Name:        kind + "_dgrad",
+				FLOPs:       units.FLOPs(float64(nd.FwdFLOPs*units.FLOPs(b)) * flopScale),
+				MemBytes:    inB + outB + paramB,
+				Parallelism: nd.Inputs[0].Out.Elems() * b,
+				Class:       class,
+				Eff:         eff,
+			})
+			// Weight gradient: same arithmetic, writes the gradient array.
+			step.Kernels = append(step.Kernels, gpu.KernelCost{
+				Name:        kind + "_wgrad",
+				FLOPs:       units.FLOPs(float64(nd.FwdFLOPs*units.FLOPs(b)) * flopScale),
+				MemBytes:    inB + outB + 2*paramB,
+				Parallelism: maxI64(nd.ParamsN, nd.Out.Elems()*b/4),
+				Class:       class,
+				Eff:         eff,
+			})
+		default:
+			flops := nd.FwdFLOPs * units.FLOPs(b)
+			if nd.Op.Kind() == OpBatchNorm {
+				flops *= 2 // reductions over the batch in both directions
+			}
+			step.Kernels = append(step.Kernels, gpu.KernelCost{
+				Name:        kind + "_bgrad",
+				FLOPs:       flops,
+				MemBytes:    2 * (inB + outB),
+				Parallelism: nd.Out.Elems() * b,
+				Class:       gpu.ClassMemory,
+			})
+		}
+		if nd.Op.Weighted() && nd.ParamsN > 0 {
+			step.Layer = &WeightedLayer{Name: nd.Name, Params: nd.ParamsN}
+		}
+		steps = append(steps, step)
+	}
+	return steps
+}
+
+// NodePlan is one node's lowered kernels, used by schedulers that place
+// layers individually (model parallelism) rather than replicating the
+// whole network.
+type NodePlan struct {
+	Node *Node
+	// Fwd is empty for nodes that lower to no kernel (input, flatten).
+	Fwd []gpu.KernelCost
+	Bwd []gpu.KernelCost
+	// Layer is non-nil when the node carries weights.
+	Layer *WeightedLayer
+}
+
+// NodePlans lowers every node individually, in topological order.
+func (n *Network) NodePlans(batch int, opt PlanOptions) []NodePlan {
+	if batch <= 0 {
+		panic(fmt.Sprintf("dnn: bad batch size %d", batch))
+	}
+	bwdByNode := make(map[*Node]BackwardStep, len(n.nodes))
+	for _, step := range n.BackwardPlan(batch, opt) {
+		bwdByNode[step.Node] = step
+	}
+	plans := make([]NodePlan, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		p := NodePlan{Node: nd}
+		switch nd.Op.Kind() {
+		case OpInput, OpFlatten:
+		default:
+			p.Fwd = []gpu.KernelCost{forwardKernel(nd, batch, opt)}
+		}
+		if step, ok := bwdByNode[nd]; ok {
+			p.Bwd = step.Kernels
+			p.Layer = step.Layer
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+// CutPoints returns the indices i (into Nodes()) after which the network
+// can be cleanly split into a prefix and a suffix: exactly one produced
+// tensor is still live (node i's own output), so a pipeline stage boundary
+// transfers a single activation. The final node is never a cut.
+func (n *Network) CutPoints() []int {
+	consumers := make(map[*Node]int, len(n.nodes))
+	for _, nd := range n.nodes {
+		for _, in := range nd.Inputs {
+			consumers[in]++
+		}
+	}
+	remaining := make(map[*Node]int, len(n.nodes))
+	for nd, c := range consumers {
+		remaining[nd] = c
+	}
+	var cuts []int
+	live := 0
+	for i, nd := range n.nodes {
+		if consumers[nd] > 0 {
+			live++
+		}
+		for _, in := range nd.Inputs {
+			remaining[in]--
+			if remaining[in] == 0 {
+				live--
+			}
+		}
+		if i == len(n.nodes)-1 {
+			break
+		}
+		if live == 1 && consumers[nd] > 0 {
+			// The only live tensor must be this node's own output;
+			// otherwise the boundary would need an older tensor too.
+			cuts = append(cuts, i)
+		}
+	}
+	return cuts
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PlanFLOPs sums the arithmetic of a kernel sequence.
+func PlanFLOPs(ks []gpu.KernelCost) units.FLOPs {
+	var f units.FLOPs
+	for _, k := range ks {
+		f += k.FLOPs
+	}
+	return f
+}
+
+// PlanDuration sums kernel durations back-to-back on one device spec (an
+// unpipelined lower-level baseline used by tests and analytic checks).
+func PlanDuration(spec gpu.Spec, ks []gpu.KernelCost) (d int64) {
+	for _, k := range ks {
+		d += int64(spec.KernelDuration(k))
+	}
+	return d
+}

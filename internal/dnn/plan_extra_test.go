@@ -1,0 +1,127 @@
+package dnn
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// NodePlans must agree with the whole-network plans: same total FLOPs,
+// same kernel counts, same weighted layers.
+func TestNodePlansConsistentWithNetworkPlans(t *testing.T) {
+	n := buildTiny()
+	opt := PlanOptions{TensorCores: true}
+	batch := 8
+
+	var nodeFwdFLOPs, nodeBwdFLOPs units.FLOPs
+	var nodeFwdKernels, nodeBwdKernels int
+	var layers []string
+	for _, p := range n.NodePlans(batch, opt) {
+		for _, k := range p.Fwd {
+			nodeFwdFLOPs += k.FLOPs
+			nodeFwdKernels++
+		}
+		for _, k := range p.Bwd {
+			nodeBwdFLOPs += k.FLOPs
+			nodeBwdKernels++
+		}
+		if p.Layer != nil {
+			layers = append(layers, p.Layer.Name)
+		}
+	}
+
+	fwd := n.ForwardPlan(batch, opt)
+	if PlanFLOPs(fwd) != nodeFwdFLOPs || len(fwd) != nodeFwdKernels {
+		t.Errorf("forward mismatch: %v/%d vs %v/%d",
+			PlanFLOPs(fwd), len(fwd), nodeFwdFLOPs, nodeFwdKernels)
+	}
+	var bwdFLOPs units.FLOPs
+	bwdKernels := 0
+	for _, step := range n.BackwardPlan(batch, opt) {
+		bwdFLOPs += PlanFLOPs(step.Kernels)
+		bwdKernels += len(step.Kernels)
+	}
+	if bwdFLOPs != nodeBwdFLOPs || bwdKernels != nodeBwdKernels {
+		t.Errorf("backward mismatch: %v/%d vs %v/%d",
+			bwdFLOPs, bwdKernels, nodeBwdFLOPs, nodeBwdKernels)
+	}
+	wl := n.WeightedLayers()
+	if len(layers) != len(wl) {
+		t.Errorf("weighted layers: %v vs %v", layers, wl)
+	}
+}
+
+// Every cut point must be a valid single-tensor boundary: for each node
+// after the cut, any input from at-or-before the cut must be the cut node
+// itself.
+func TestCutPointsValidBoundaries(t *testing.T) {
+	nets := []*Network{buildTiny(), buildBranchy(t)}
+	for _, n := range nets {
+		nodes := n.Nodes()
+		index := map[*Node]int{}
+		for i, nd := range nodes {
+			index[nd] = i
+		}
+		for _, c := range n.CutPoints() {
+			for i := c + 1; i < len(nodes); i++ {
+				for _, in := range nodes[i].Inputs {
+					if index[in] <= c && index[in] != c {
+						t.Errorf("%s: cut %d severs %s -> %s", n.Name, c, in.Name, nodes[i].Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// buildBranchy creates a net with a residual branch; no cut may fall
+// inside the branch.
+func buildBranchy(t *testing.T) *Network {
+	t.Helper()
+	b := NewBuilder("branchy")
+	x := b.Input("data", Shape{C: 8, H: 8, W: 8})
+	x = b.Add("pre", Conv{OutC: 8, KH: 3, KW: 3, PadH: 1, PadW: 1}, x)
+	left := b.Add("left", Conv{OutC: 8, KH: 3, KW: 3, PadH: 1, PadW: 1}, x)
+	sum := b.Add("sum", Add{}, left, x)
+	post := b.Add("post", Conv{OutC: 8, KH: 3, KW: 3, PadH: 1, PadW: 1}, sum)
+	b.Add("softmax", Softmax{}, post)
+	return b.Finish()
+}
+
+func TestCutPointsExcludeBranchInterior(t *testing.T) {
+	n := buildBranchy(t)
+	nodes := n.Nodes()
+	byName := map[string]int{}
+	for i, nd := range nodes {
+		byName[nd.Name] = i
+	}
+	cuts := map[int]bool{}
+	for _, c := range n.CutPoints() {
+		cuts[c] = true
+	}
+	// While "pre" is consumed by both "left" and "sum", a cut after "left"
+	// would sever pre->sum: it must not be offered.
+	if cuts[byName["left"]] {
+		t.Error("cut inside the residual branch offered")
+	}
+	// After "sum" the graph narrows again: valid cut.
+	if !cuts[byName["sum"]] {
+		t.Error("cut after the residual join missing")
+	}
+	// A purely sequential prefix boundary is valid.
+	if !cuts[byName["pre"]] {
+		// pre's output feeds both branches, but it is the ONLY live
+		// tensor at that point, so the cut is clean.
+		t.Error("cut after pre missing")
+	}
+}
+
+func TestNodePlansBadBatchPanics(t *testing.T) {
+	n := buildTiny()
+	defer func() {
+		if recover() == nil {
+			t.Error("batch 0 should panic")
+		}
+	}()
+	n.NodePlans(0, PlanOptions{})
+}

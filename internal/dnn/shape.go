@@ -1,0 +1,27 @@
+// Package dnn provides the neural-network description layer of the
+// simulator: operators, a DAG builder with shape inference, and per-layer
+// analytical costs (parameters, FLOPs, activation footprints) from which
+// the training model derives kernel plans. Networks are descriptions, not
+// numeric executors — the paper's measurements depend on sizes and
+// schedules, not on tensor values.
+package dnn
+
+import "fmt"
+
+// Shape is the per-image feature-map shape in CHW layout. Fully-connected
+// features use C=features, H=W=1.
+type Shape struct {
+	C, H, W int
+}
+
+// Elems returns the number of elements per image.
+func (s Shape) Elems() int64 { return int64(s.C) * int64(s.H) * int64(s.W) }
+
+// Valid reports whether all dimensions are positive.
+func (s Shape) Valid() bool { return s.C > 0 && s.H > 0 && s.W > 0 }
+
+// String renders the shape, e.g. "64x56x56".
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// Vec returns a feature-vector shape with n features.
+func Vec(n int) Shape { return Shape{C: n, H: 1, W: 1} }

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// The simulator is deterministic and the jitter is seeded: running any
+// experiment twice must produce byte-identical tables. This is what makes
+// the reproduction reproducible.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3", "table4", "fig2", "insights"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.Run(testOpts)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		b, err := e.Run(testOpts)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: table count changed between runs", id)
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Errorf("%s table %d differs between identical runs", id, i)
+			}
+		}
+	}
+}
+
+// Figure 3's sweep (the largest) is deterministic for a fixed seed: two
+// runs render byte-identical tables, error bars included.
+func TestFig3DeterministicForFixedSeed(t *testing.T) {
+	a, err := Fig3(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig3(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("fig3 table %d differs between identical runs", i)
+		}
+	}
+}

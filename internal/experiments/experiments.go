@@ -1,0 +1,143 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: each experiment programmatically sweeps the configurations
+// the paper measured and renders the same rows/series the paper reports.
+// The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records
+// paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/kvstore"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/train"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Repetitions per configuration (the paper uses 5). The first
+	// repetition is the exact simulated value; the rest add seeded
+	// run-to-run jitter.
+	Repetitions int
+	// Seed drives the jitter source.
+	Seed int64
+	// JitterRel is the relative standard deviation of run-to-run noise.
+	JitterRel float64
+	// Images overrides the strong-scaling dataset size (0 = the paper's
+	// 256K). Benchmarks use a smaller value where only shape matters.
+	Images int64
+}
+
+func (o *Options) normalize() {
+	if o.Repetitions <= 0 {
+		o.Repetitions = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.JitterRel == 0 {
+		o.JitterRel = 0.015
+	}
+	if o.Images <= 0 {
+		o.Images = data.PaperDatasetImages
+	}
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the paper artifact identifier, e.g. "fig3" or "table2".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the sweep and renders its tables.
+	Run func(Options) ([]*report.Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table I: description of the networks", Run: Table1},
+		{ID: "fig1", Title: "Figure 1: multi-GPU training timeline (one epoch start)", Run: Fig1},
+		{ID: "fig2", Title: "Figure 2: DGX-1 network topology", Run: Fig2},
+		{ID: "fig3", Title: "Figure 3: training time per epoch, P2P vs NCCL", Run: Fig3},
+		{ID: "table2", Title: "Table II: NCCL overhead vs P2P on a single GPU", Run: Table2},
+		{ID: "fig4", Title: "Figure 4: training time breakdown into FP+BP and WU", Run: Fig4},
+		{ID: "table3", Title: "Table III: cudaStreamSynchronize overhead for LeNet", Run: Table3},
+		{ID: "table4", Title: "Table IV: memory usage, pre-training and training", Run: Table4},
+		{ID: "fig5", Title: "Figure 5: weak scaling", Run: Fig5},
+		{ID: "insights", Title: "Conformance: the paper's stated insights, re-checked", Run: Insights},
+		{ID: "optimizations", Title: "Extension: post-paper remedies (bucketing, tree algorithm)", Run: Optimizations},
+		{ID: "layers", Title: "Extension: layer-by-layer roofline characterization", Run: Layers},
+		{ID: "hardware", Title: "Extension: hardware generations and transport baselines", Run: Hardware},
+	}
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// Paper sweep axes.
+var (
+	// ModelNames in the paper's presentation order.
+	ModelNames = []string{"lenet", "alexnet", "resnet", "googlenet", "inception-v3"}
+	// Batches the paper sweeps.
+	Batches = []int{16, 32, 64}
+	// GPUCounts the paper sweeps.
+	GPUCounts = []int{1, 2, 4, 8}
+	// Methods the paper compares.
+	Methods = []kvstore.Method{kvstore.MethodP2P, kvstore.MethodNCCL}
+)
+
+// runOne simulates a single configuration.
+func runOne(model string, gpus, batch int, method kvstore.Method, images int64) (*train.Result, error) {
+	cfg, err := train.NewConfig(model, gpus, batch, method)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Images = images
+	tr, err := train.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Run()
+}
+
+// measured is one configuration's repeated-run summary.
+type measured struct {
+	res    *train.Result
+	sample stats.Sample
+}
+
+// measure runs a configuration and expands it to the repeated-run summary
+// the paper's error bars come from.
+func measure(opt Options, model string, gpus, batch int, method kvstore.Method, images int64) (measured, error) {
+	res, err := runOne(model, gpus, batch, method, images)
+	if err != nil {
+		return measured{}, err
+	}
+	j := sim.NewJitter(opt.Seed^int64(gpus*1000+batch), opt.JitterRel)
+	reps := stats.Repetitions(res.EpochTime, j, opt.Repetitions)
+	return measured{res: res, sample: stats.Summarize(reps)}, nil
+}
+
+// fmtDur renders a duration rounded for table cells.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return d.Round(100 * time.Millisecond).String()
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	default:
+		return d.Round(100 * time.Microsecond).String()
+	}
+}

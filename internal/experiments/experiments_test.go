@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testOpts keeps experiment tests fast; the simulation cost is independent
+// of dataset size, but fewer repetitions trim jitter work.
+var testOpts = Options{Repetitions: 2, Seed: 7, JitterRel: 0.01}
+
+func TestByID(t *testing.T) {
+	for _, e := range All() {
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%q) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestAllUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%q incomplete", e.ID)
+		}
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	tabs, err := Table1(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tabs[0].String()
+	for _, want := range []string{"LeNet", "AlexNet", "GoogLeNet", "Inception-v3", "ResNet", "61706", "60965224"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2Trends(t *testing.T) {
+	tabs, err := Table2(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows()
+	if len(rows) != 15 {
+		t.Fatalf("Table2 rows = %d, want 15", len(rows))
+	}
+	// Column 4 is the overhead; every row must be positive (NCCL always
+	// costs something on one GPU).
+	byModel := map[string][]float64{}
+	for _, r := range rows {
+		ov, err := strconv.ParseFloat(r[4], 64)
+		if err != nil {
+			t.Fatalf("bad overhead cell %q", r[4])
+		}
+		if ov <= 0 {
+			t.Errorf("%s b%s: overhead %.1f should be positive", r[0], r[1], ov)
+		}
+		byModel[r[0]] = append(byModel[r[0]], ov)
+	}
+	// Small networks: overhead grows with batch.
+	for _, m := range []string{"LeNet", "AlexNet"} {
+		o := byModel[m]
+		if !(o[0] < o[1] && o[1] < o[2]) {
+			t.Errorf("%s overhead not increasing with batch: %v", m, o)
+		}
+	}
+	// Large networks: varies by less than 3.6 percentage points.
+	for _, m := range []string{"ResNet", "GoogLeNet", "Inception-v3"} {
+		o := byModel[m]
+		min, max := o[0], o[0]
+		for _, v := range o {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if max-min >= 3.6 {
+			t.Errorf("%s overhead varies %.1fpp, want < 3.6", m, max-min)
+		}
+	}
+}
+
+func TestTable3Trends(t *testing.T) {
+	tabs, err := Table3(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows()
+	if len(rows) != 12 {
+		t.Fatalf("Table3 rows = %d, want 12", len(rows))
+	}
+	get := func(batch, gpus string) float64 {
+		for _, r := range rows {
+			if r[0] == batch && r[1] == gpus {
+				v, _ := strconv.ParseFloat(r[2], 64)
+				return v
+			}
+		}
+		t.Fatalf("missing row %s/%s", batch, gpus)
+		return 0
+	}
+	if !(get("16", "1") < get("16", "8")) {
+		t.Error("sync%% should grow with GPU count")
+	}
+	if !(get("64", "8") < get("16", "8")) {
+		t.Error("sync%% should shrink with batch size")
+	}
+}
+
+func TestTable4Content(t *testing.T) {
+	tabs, err := Table4(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("Table4 should yield 2 tables, got %d", len(tabs))
+	}
+	rows := tabs[0].Rows()
+	if len(rows) != 15 {
+		t.Fatalf("memory rows = %d, want 15", len(rows))
+	}
+	for _, r := range rows {
+		root, _ := strconv.ParseFloat(r[3], 64)
+		worker, _ := strconv.ParseFloat(r[4], 64)
+		if root < worker {
+			t.Errorf("%s b%s: GPU0 (%.2f) should not be below GPUx (%.2f)", r[0], r[1], root, worker)
+		}
+		// The premium column is exact even when the GiB cells round equal
+		// (LeNet's 0.5MB premium).
+		prem, _ := strconv.ParseFloat(r[5], 64)
+		if prem <= 0 {
+			t.Errorf("%s b%s: GPU0 premium %.2f%% should be positive", r[0], r[1], prem)
+		}
+	}
+	// OOM boundary table.
+	boundary := map[string]string{}
+	for _, r := range tabs[1].Rows() {
+		boundary[r[0]] = r[1]
+	}
+	if boundary["Inception-v3"] != "64" || boundary["ResNet"] != "64" {
+		t.Errorf("Inception-v3/ResNet max batch should be 64: %v", boundary)
+	}
+	if boundary["LeNet"] != "256" {
+		t.Errorf("LeNet should train at any batch: %v", boundary)
+	}
+}
+
+func TestFig2Topology(t *testing.T) {
+	tabs, err := Fig2(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("Fig2 tables = %d, want 2", len(tabs))
+	}
+	s := tabs[0].String()
+	if !strings.Contains(s, "NV2") || !strings.Contains(s, "NV1") || !strings.Contains(s, "PIX") {
+		t.Errorf("adjacency missing link codes:\n%s", s)
+	}
+}
+
+func TestFig1Activity(t *testing.T) {
+	tabs, err := Fig1(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tabs[0].String()
+	for _, want := range []string{"GPU0/compute", "FP", "BP", "WU"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig1 missing %q", want)
+		}
+	}
+}
+
+// Fig3's full grid is exercised by the benchmark; here a focused LeNet
+// check that the table has the right shape and error bars.
+func TestFig3Shape(t *testing.T) {
+	opt := testOpts
+	tabs, err := Fig3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 10 { // 5 models x 2 methods
+		t.Fatalf("Fig3 tables = %d, want 10", len(tabs))
+	}
+	for _, tab := range tabs {
+		rows := tab.Rows()
+		if len(rows) != 3 {
+			t.Fatalf("%s: rows = %d, want 3 batch sizes", tab.Title, len(rows))
+		}
+		for _, r := range rows {
+			for _, cell := range r[1:] {
+				if !strings.Contains(cell, "±") {
+					t.Errorf("%s: cell %q missing error bar", tab.Title, cell)
+				}
+			}
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tabs, err := Fig4(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 5 {
+		t.Fatalf("Fig4 tables = %d, want 5", len(tabs))
+	}
+	for _, tab := range tabs {
+		rows := tab.Rows()
+		if len(rows) != 12 { // 4 GPU counts x 3 batches
+			t.Fatalf("%s: rows = %d, want 12", tab.Title, len(rows))
+		}
+		for _, r := range rows {
+			if r[0] == "1" && r[3] != "-" {
+				t.Errorf("%s: single-GPU WU should be '-'", tab.Title)
+			}
+		}
+	}
+}
+
+func TestFig5WeakAtLeastStrong(t *testing.T) {
+	tabs, err := Fig5(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 10 {
+		t.Fatalf("Fig5 tables = %d, want 10", len(tabs))
+	}
+	for _, tab := range tabs {
+		for _, r := range tab.Rows() {
+			adv, err := strconv.ParseFloat(r[5], 64)
+			if err != nil {
+				t.Fatalf("bad advantage cell %q", r[5])
+			}
+			if adv < -2.5 {
+				t.Errorf("%s gpus=%s batch=%s: weak scaling much worse than strong (%.1f%%)",
+					tab.Title, r[1], r[0], adv)
+			}
+		}
+	}
+}
+
+func TestOptimizationsHelpLatencyBoundOnly(t *testing.T) {
+	tabs, err := Optimizations(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	speedup := func(name string) float64 {
+		for _, r := range rows {
+			if r[0] == name {
+				var v float64
+				if _, err := fmt.Sscanf(r[5], "%fx", &v); err != nil {
+					t.Fatalf("bad speedup cell %q", r[5])
+				}
+				return v
+			}
+		}
+		t.Fatalf("missing row %q", name)
+		return 0
+	}
+	if s := speedup("LeNet"); s < 1.2 {
+		t.Errorf("LeNet optimization speedup %.2f, want substantial", s)
+	}
+	for _, m := range []string{"ResNet", "Inception-v3"} {
+		if s := speedup(m); s < 0.98 || s > 1.1 {
+			t.Errorf("%s speedup %.2f should be ~1 (bandwidth bound)", m, s)
+		}
+	}
+}
+
+func TestLayersExperiment(t *testing.T) {
+	tabs, err := Layers(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 5 {
+		t.Fatalf("tables = %d, want 5", len(tabs))
+	}
+	for _, tab := range tabs {
+		rows := tab.Rows()
+		if len(rows) == 0 || len(rows) > 10 {
+			t.Fatalf("%s: %d rows", tab.Title, len(rows))
+		}
+		for _, r := range rows {
+			if r[5] != "compute" && r[5] != "memory" && r[5] != "overhead" {
+				t.Errorf("bad bound-by cell %q", r[5])
+			}
+		}
+	}
+}
+
+func TestHardwareExperiment(t *testing.T) {
+	tabs, err := Hardware(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tabs))
+	}
+	if got := len(tabs[0].Rows()); got != 5 {
+		t.Errorf("machine rows = %d, want 5", got)
+	}
+	if got := len(tabs[1].Rows()); got != 3 {
+		t.Errorf("transport rows = %d, want 3", got)
+	}
+}

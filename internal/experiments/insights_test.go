@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+// Every insight check must hold — this is the repository's conformance
+// gate against the paper's stated findings.
+func TestAllInsightsHold(t *testing.T) {
+	tabs, err := Insights(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows()
+	if len(rows) != 13 {
+		t.Fatalf("insights = %d, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if r[3] != "yes" {
+			t.Errorf("insight %s does not hold: %s (%s)", r[0], r[1], r[2])
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+	"repro/internal/models"
+	"repro/internal/report"
+)
+
+// Layers renders the layer-by-layer characterization (the style of the CNN
+// profiling work the paper builds on, Dong et al.): each network's most
+// expensive layers at batch 16 on the V100, with their roofline regime.
+func Layers(opt Options) ([]*report.Table, error) {
+	opt.normalize()
+	spec := gpu.V100()
+	var out []*report.Table
+	for _, m := range ModelNames {
+		d, err := models.ByName(m)
+		if err != nil {
+			return nil, err
+		}
+		stats := dnn.ProfileLayers(d.Net, 16, spec, dnn.PlanOptions{TensorCores: true})
+		var total time.Duration
+		for _, s := range stats {
+			total += s.Total()
+		}
+		t := report.NewTable(
+			fmt.Sprintf("Layer profile: %s (batch 16, V100) — top 10 of %d layers, FP+BP %v total",
+				d.Name, len(stats), fmtDur(total)),
+			"Layer", "Op", "Output", "FP", "BP", "Bound by", "Share (%)")
+		for _, s := range dnn.TopLayers(stats, 10) {
+			t.AddRow(s.Name, s.Kind.String(), s.Output.String(),
+				s.FPTime.Round(time.Microsecond).String(),
+				s.BPTime.Round(time.Microsecond).String(), s.BoundBy,
+				report.F(100*float64(s.Total())/float64(total), 1))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

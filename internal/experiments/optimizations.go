@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/models"
+	"repro/internal/report"
+	"repro/internal/train"
+	"repro/internal/units"
+)
+
+// Optimizations evaluates the remedies the paper's findings motivated —
+// gradient bucketing (fusing small arrays to amortize per-op overhead) and
+// NCCL's double-binary-tree algorithm (O(log N) latency) — against the
+// paper-era baseline for the workloads whose WU stage the paper showed to
+// be overhead-bound.
+func Optimizations(opt Options) ([]*report.Table, error) {
+	opt.normalize()
+	t := report.NewTable("Post-paper optimizations vs the measured baseline (8 GPUs, batch 16, NCCL)",
+		"Network", "Baseline (rings, per-array)", "+bucketing (1MB)", "+tree", "+both", "Best speedup")
+
+	variant := func(model string, bucket units.Bytes, tree bool) (time.Duration, error) {
+		cfg, err := train.NewConfig(model, 8, 16, kvstore.MethodNCCL)
+		if err != nil {
+			return 0, err
+		}
+		cfg.Images = opt.Images
+		cfg.BucketBytes = bucket
+		cfg.NCCLTree = tree
+		tr, err := train.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		res, err := tr.Run()
+		if err != nil {
+			return 0, err
+		}
+		return res.EpochTime, nil
+	}
+
+	for _, m := range ModelNames {
+		d, err := models.ByName(m)
+		if err != nil {
+			return nil, err
+		}
+		base, err := variant(m, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		bucketed, err := variant(m, units.MB, false)
+		if err != nil {
+			return nil, err
+		}
+		treed, err := variant(m, 0, true)
+		if err != nil {
+			return nil, err
+		}
+		both, err := variant(m, units.MB, true)
+		if err != nil {
+			return nil, err
+		}
+		best := bucketed
+		if treed < best {
+			best = treed
+		}
+		if both < best {
+			best = both
+		}
+		t.AddRow(d.Name, fmtDur(base), fmtDur(bucketed), fmtDur(treed), fmtDur(both),
+			fmt.Sprintf("%.2fx", base.Seconds()/best.Seconds()))
+	}
+	t.AddNote("bucketing and log-depth trees attack the per-operation and per-step latencies the paper identified; bandwidth-bound workloads are unaffected by design")
+	return []*report.Table{t}, nil
+}

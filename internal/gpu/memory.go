@@ -1,0 +1,88 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds device capacity.
+// The paper hits this wall at batch 128 for Inception-v3 and ResNet and at
+// batch 256 for GoogLeNet; the trainer surfaces the same failures.
+var ErrOutOfMemory = errors.New("gpu: out of memory")
+
+// Allocator tracks device-memory usage by tag (weights, gradients, feature
+// maps, workspace, ...), enforcing the device capacity and recording the
+// high-water mark.
+type Allocator struct {
+	capacity units.Bytes
+	used     units.Bytes
+	peak     units.Bytes
+	tags     map[string]units.Bytes
+}
+
+// NewAllocator creates an allocator with the given capacity.
+func NewAllocator(capacity units.Bytes) *Allocator {
+	return &Allocator{capacity: capacity, tags: make(map[string]units.Bytes)}
+}
+
+// Alloc reserves n bytes under tag. It fails with ErrOutOfMemory (wrapped
+// with the tag and sizes) if the reservation would exceed capacity.
+func (a *Allocator) Alloc(tag string, n units.Bytes) error {
+	if n < 0 {
+		return fmt.Errorf("gpu: negative allocation %d under %q", n, tag)
+	}
+	if a.used+n > a.capacity {
+		return fmt.Errorf("gpu: alloc %v under %q: used %v of %v: %w",
+			n, tag, a.used, a.capacity, ErrOutOfMemory)
+	}
+	a.used += n
+	a.tags[tag] += n
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	return nil
+}
+
+// Free releases n bytes from tag. Freeing more than was allocated under the
+// tag indicates a model bug and panics.
+func (a *Allocator) Free(tag string, n units.Bytes) {
+	if n < 0 || a.tags[tag] < n {
+		panic(fmt.Sprintf("gpu: freeing %v from tag %q holding %v", n, tag, a.tags[tag]))
+	}
+	a.tags[tag] -= n
+	a.used -= n
+	if a.tags[tag] == 0 {
+		delete(a.tags, tag)
+	}
+}
+
+// Used returns current usage.
+func (a *Allocator) Used() units.Bytes { return a.used }
+
+// Peak returns the high-water mark.
+func (a *Allocator) Peak() units.Bytes { return a.peak }
+
+// Capacity returns the device capacity.
+func (a *Allocator) Capacity() units.Bytes { return a.capacity }
+
+// Tag returns the bytes currently held under tag.
+func (a *Allocator) Tag(tag string) units.Bytes { return a.tags[tag] }
+
+// Tags returns current usage per tag in deterministic (name) order.
+func (a *Allocator) Tags() []TagUsage {
+	out := make([]TagUsage, 0, len(a.tags))
+	for t, n := range a.tags {
+		out = append(out, TagUsage{Tag: t, Bytes: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}
+
+// TagUsage is one tag's usage.
+type TagUsage struct {
+	Tag   string
+	Bytes units.Bytes
+}

@@ -1,0 +1,173 @@
+// Package gpu models a single GPU: its performance envelope (a roofline
+// with an occupancy correction), its execution queues, and its memory
+// capacity. The default Spec reproduces the Tesla V100 in the paper's
+// DGX-1.
+package gpu
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// KernelClass selects which compute roof a kernel runs against.
+type KernelClass int
+
+// Kernel classes.
+const (
+	// ClassTensor kernels (convolutions and GEMMs lowered to matrix
+	// blocks) can use the V100's tensor cores.
+	ClassTensor KernelClass = iota
+	// ClassFMA kernels run on the ordinary FP32 pipelines.
+	ClassFMA
+	// ClassMemory kernels (activations, pooling, batchnorm, elementwise)
+	// are DRAM-bandwidth-bound; their FLOPs are negligible.
+	ClassMemory
+)
+
+// String names the class.
+func (c KernelClass) String() string {
+	switch c {
+	case ClassTensor:
+		return "tensor"
+	case ClassFMA:
+		return "fma"
+	case ClassMemory:
+		return "memory"
+	}
+	return "unknown"
+}
+
+// Spec is a GPU's hardware envelope.
+type Spec struct {
+	Name string
+	SMs  int
+
+	// Peak arithmetic rates.
+	PeakFP32   units.FLOPRate
+	PeakTensor units.FLOPRate
+
+	// Memory system.
+	MemBW       units.Bandwidth
+	MemCapacity units.Bytes
+
+	// KernelGap is the device-side gap between consecutive kernels on a
+	// stream (scheduling, not host launch — that is the CUDA runtime's
+	// cost).
+	KernelGap time.Duration
+
+	// OccupancyHalf is the parallelism (threads of work) at which a kernel
+	// reaches half of its achievable throughput. Small kernels cannot fill
+	// the SM array; this single knob models that.
+	OccupancyHalf int64
+}
+
+// V100 returns the Tesla V100-SXM2-16GB used in the Volta DGX-1:
+// 80 SMs, 15.7 TFLOPS FP32, 125 TFLOPS tensor, 16 GB HBM2 at 900 GB/s.
+func V100() Spec {
+	return Spec{
+		Name:          "Tesla V100-SXM2-16GB",
+		SMs:           80,
+		PeakFP32:      15.7 * units.TFLOPPerSec,
+		PeakTensor:    125 * units.TFLOPPerSec,
+		MemBW:         900 * units.GBPerSec,
+		MemCapacity:   16 * units.GB,
+		KernelGap:     2500 * time.Nanosecond,
+		OccupancyHalf: 48 * 1024,
+	}
+}
+
+// P100 returns the Tesla P100-SXM2-16GB of the Pascal-generation DGX-1
+// (the system the paper's related work compares against): 56 SMs,
+// 10.6 TFLOPS FP32, no tensor cores, 16 GB HBM2 at 720 GB/s.
+func P100() Spec {
+	return Spec{
+		Name:          "Tesla P100-SXM2-16GB",
+		SMs:           56,
+		PeakFP32:      10.6 * units.TFLOPPerSec,
+		PeakTensor:    10.6 * units.TFLOPPerSec, // no tensor cores: same roof
+		MemBW:         720 * units.GBPerSec,
+		MemCapacity:   16 * units.GB,
+		KernelGap:     2500 * time.Nanosecond,
+		OccupancyHalf: 36 * 1024,
+	}
+}
+
+// KernelCost is a kernel's resource demand, computed by the DNN layer
+// planner.
+type KernelCost struct {
+	// Name identifies the kernel for profiling (e.g. "conv2d_fprop").
+	Name string
+	// FLOPs of arithmetic work.
+	FLOPs units.FLOPs
+	// MemBytes of DRAM traffic (reads + writes).
+	MemBytes units.Bytes
+	// Parallelism is the number of independent work items (output
+	// elements), which drives occupancy.
+	Parallelism int64
+	// Class selects the roof.
+	Class KernelClass
+	// Eff is the fraction of the roof achievable at full occupancy
+	// (algorithmic efficiency: im2col overheads, tail effects). Zero means
+	// a default of 1.
+	Eff float64
+}
+
+// Occupancy returns the throughput fraction attainable at the given
+// parallelism: p / (p + half). It rises from ~0 for tiny kernels to ~1 for
+// kernels with far more work items than the machine has lanes.
+func (s Spec) Occupancy(parallelism int64) float64 {
+	if parallelism <= 0 {
+		return 0
+	}
+	p := float64(parallelism)
+	return p / (p + float64(s.OccupancyHalf))
+}
+
+// KernelDuration estimates the kernel's execution time: the max of its
+// compute-roof time and its memory-roof time, both discounted by occupancy,
+// plus the device-side scheduling gap.
+func (s Spec) KernelDuration(c KernelCost) time.Duration {
+	eff := c.Eff
+	if eff <= 0 {
+		eff = 1
+	}
+	occ := s.Occupancy(c.Parallelism)
+	if occ <= 0 {
+		return s.KernelGap
+	}
+
+	var roof units.FLOPRate
+	switch c.Class {
+	case ClassTensor:
+		roof = s.PeakTensor
+	case ClassFMA:
+		roof = s.PeakFP32
+	case ClassMemory:
+		roof = 0
+	}
+
+	var compute time.Duration
+	if roof > 0 && c.FLOPs > 0 {
+		compute = units.ComputeTime(c.FLOPs, units.FLOPRate(float64(roof)*eff*occ))
+	}
+	var memory time.Duration
+	if c.MemBytes > 0 {
+		memory = units.TransferTime(c.MemBytes, units.Bandwidth(float64(s.MemBW)*occ))
+	}
+	d := compute
+	if memory > d {
+		d = memory
+	}
+	return s.KernelGap + d
+}
+
+// AchievedRate returns the effective FLOP rate the kernel attains
+// (FLOPs / duration), used for utilization reporting.
+func (s Spec) AchievedRate(c KernelCost) units.FLOPRate {
+	d := s.KernelDuration(c)
+	if d <= 0 || c.FLOPs <= 0 {
+		return 0
+	}
+	return units.FLOPRate(float64(c.FLOPs) / d.Seconds())
+}

@@ -1,0 +1,162 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func TestBookMatchesTransfer(t *testing.T) {
+	// The synchronous Book must produce the same completion time as the
+	// event-driven Transfer for the same request sequence.
+	top := topology.DGX1()
+	path, err := top.Route(0, 7, topology.RouteStagedNVLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []units.Bytes{10 * units.MB, 25 * units.MB, 5 * units.MB}
+
+	e1 := sim.NewEngine()
+	f1 := New(e1, top)
+	var transferred []time.Duration
+	for _, s := range sizes {
+		f1.Transfer(path, s, func(_, end time.Duration) { transferred = append(transferred, end) })
+	}
+	e1.Run()
+
+	e2 := sim.NewEngine()
+	f2 := New(e2, top)
+	var booked []time.Duration
+	for _, s := range sizes {
+		_, end := f2.Book(path, s, 0)
+		booked = append(booked, end)
+	}
+	if len(transferred) != len(booked) {
+		t.Fatal("length mismatch")
+	}
+	for i := range booked {
+		if booked[i] != transferred[i] {
+			t.Errorf("request %d: booked %v != transferred %v", i, booked[i], transferred[i])
+		}
+	}
+}
+
+// Property: booking end times are monotone in request order per path, and
+// total busy time on the first-hop direction equals the sum of its
+// transfer durations (conservation).
+func TestBookConservation(t *testing.T) {
+	top := topology.DGX1()
+	path, err := top.Route(0, 3, topology.RouteStagedNVLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(sizesKB []uint16) bool {
+		eng := sim.NewEngine()
+		fab := New(eng, top)
+		var prev time.Duration
+		var wantBusy time.Duration
+		for _, kb := range sizesKB {
+			size := units.Bytes(kb) * units.KB
+			_, end := fab.Book(path, size, 0)
+			if end < prev {
+				return false
+			}
+			prev = end
+			wantBusy += path.Hops[0].Link.Latency + units.TransferTime(size, path.Hops[0].Link.BW)
+		}
+		if len(sizesKB) == 0 {
+			return true
+		}
+		return fab.BusyTime(topology.NVLink) == wantBusy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccupy(t *testing.T) {
+	eng := sim.NewEngine()
+	top := topology.DGX1()
+	fab := New(eng, top)
+	l := top.DirectLink(0, 1, topology.NVLink)
+	s1, e1 := fab.Occupy(l, 0, 0, 5*time.Millisecond)
+	if s1 != 0 || e1 != 5*time.Millisecond {
+		t.Errorf("first occupy [%v,%v]", s1, e1)
+	}
+	// Subsequent traffic on the same direction queues behind it.
+	path, _ := top.Route(0, 1, topology.RouteStagedNVLink)
+	start, _ := fab.Book(path, units.MB, 0)
+	if start != e1 {
+		t.Errorf("transfer start = %v, want %v (queued behind occupation)", start, e1)
+	}
+	// The reverse direction is unaffected.
+	rev, _ := top.Route(1, 0, topology.RouteStagedNVLink)
+	rstart, _ := fab.Book(rev, units.MB, 0)
+	if rstart != 0 {
+		t.Errorf("reverse start = %v, want 0", rstart)
+	}
+}
+
+func TestCutThroughBooking(t *testing.T) {
+	top := topology.DGX2()
+	eng := sim.NewEngine()
+	fab := New(eng, top)
+	p, err := top.Route(0, 9, topology.RouteStagedNVLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CutThrough {
+		t.Fatal("DGX-2 path should be cut-through")
+	}
+	size := 150 * units.MB
+	start, end := fab.Book(p, size, 0)
+	// Cut-through: one bottleneck-rate pass plus both hops' latency, NOT
+	// store-and-forward's two passes.
+	want := 2*topology.NVLinkLatency + units.TransferTime(size, 150*units.GBPerSec)
+	if start != 0 || end != want {
+		t.Errorf("cut-through window [%v,%v], want [0,%v]", start, end, want)
+	}
+	if snf := OneWayTime(p, size); end >= snf {
+		t.Errorf("cut-through (%v) should beat store-and-forward (%v)", end, snf)
+	}
+	// Both hops are occupied (visible to contention): a second transfer
+	// sharing the first hop queues.
+	p2, err := top.Route(0, 5, topology.RouteStagedNVLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := fab.Book(p2, size, 0)
+	if s2 != end {
+		t.Errorf("second transfer start = %v, want %v (queued on shared first hop)", s2, end)
+	}
+}
+
+func TestStatsSortedAcrossDirections(t *testing.T) {
+	top := topology.DGX1()
+	eng := sim.NewEngine()
+	fab := New(eng, top)
+	for _, pairs := range [][2]topology.NodeID{{3, 0}, {0, 1}, {1, 7}, {0, 2}} {
+		p, err := top.Route(pairs[0], pairs[1], topology.RouteStagedNVLink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab.Book(p, units.MB, 0)
+	}
+	st := fab.Stats()
+	if len(st) < 4 {
+		t.Fatalf("stats = %d entries", len(st))
+	}
+	for i := 1; i < len(st); i++ {
+		a, b := st[i-1], st[i]
+		if a.From > b.From || (a.From == b.From && a.To > b.To) {
+			t.Fatalf("stats unsorted at %d: %+v then %+v", i, a, b)
+		}
+	}
+	if fab.Engine() != eng {
+		t.Error("engine accessor wrong")
+	}
+}

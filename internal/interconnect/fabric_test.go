@@ -1,0 +1,186 @@
+package interconnect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func dgx1Fabric(t *testing.T) (*sim.Engine, *Fabric) {
+	t.Helper()
+	eng := sim.NewEngine()
+	top := topology.DGX1()
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, New(eng, top)
+}
+
+func route(t *testing.T, f *Fabric, a, b topology.NodeID) topology.Path {
+	t.Helper()
+	p, err := f.Topology().Route(a, b, topology.RouteStagedNVLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSingleHopTransferTime(t *testing.T) {
+	eng, f := dgx1Fabric(t)
+	p := route(t, f, 0, 1) // dual NVLink, 50 GB/s
+	var start, end time.Duration
+	f.Transfer(p, 50*units.MB, func(s, e time.Duration) { start, end = s, e })
+	eng.Run()
+	if start != 0 {
+		t.Errorf("start = %v, want 0", start)
+	}
+	want := topology.NVLinkLatency + units.TransferTime(50*units.MB, 50*units.GBPerSec)
+	if end != want {
+		t.Errorf("end = %v, want %v", end, want)
+	}
+}
+
+func TestTwoHopStoreAndForwardDoublesTime(t *testing.T) {
+	eng, f := dgx1Fabric(t)
+	p := route(t, f, 0, 7) // 0 -> 1 -> 7, both dual links
+	if len(p.Hops) != 2 {
+		t.Fatalf("expected 2 hops, got %v", p)
+	}
+	var end time.Duration
+	f.Transfer(p, 100*units.MB, func(_, e time.Duration) { end = e })
+	eng.Run()
+	oneHop := topology.NVLinkLatency + units.TransferTime(100*units.MB, 50*units.GBPerSec)
+	if end != 2*oneHop {
+		t.Errorf("2-hop end = %v, want %v (store-and-forward)", end, 2*oneHop)
+	}
+}
+
+func TestContentionSerializesSameDirection(t *testing.T) {
+	eng, f := dgx1Fabric(t)
+	p := route(t, f, 0, 3) // single NVLink, 25 GB/s
+	var ends []time.Duration
+	for i := 0; i < 2; i++ {
+		f.Transfer(p, 25*units.MB, func(_, e time.Duration) { ends = append(ends, e) })
+	}
+	eng.Run()
+	one := topology.NVLinkLatency + units.TransferTime(25*units.MB, 25*units.GBPerSec)
+	if len(ends) != 2 {
+		t.Fatal("missing completions")
+	}
+	if ends[0] != one || ends[1] != 2*one {
+		t.Errorf("ends = %v, want [%v %v]", ends, one, 2*one)
+	}
+}
+
+func TestOppositeDirectionsDoNotContend(t *testing.T) {
+	eng, f := dgx1Fabric(t)
+	fwd := route(t, f, 0, 3)
+	rev := route(t, f, 3, 0)
+	var endFwd, endRev time.Duration
+	f.Transfer(fwd, 25*units.MB, func(_, e time.Duration) { endFwd = e })
+	f.Transfer(rev, 25*units.MB, func(_, e time.Duration) { endRev = e })
+	eng.Run()
+	one := topology.NVLinkLatency + units.TransferTime(25*units.MB, 25*units.GBPerSec)
+	if endFwd != one || endRev != one {
+		t.Errorf("full-duplex violated: fwd=%v rev=%v want both %v", endFwd, endRev, one)
+	}
+}
+
+func TestTransferAfterDelaysEligibility(t *testing.T) {
+	eng, f := dgx1Fabric(t)
+	p := route(t, f, 0, 1)
+	var start time.Duration
+	f.TransferAfter(10*time.Millisecond, p, units.MB, func(s, _ time.Duration) { start = s })
+	eng.Run()
+	if start != 10*time.Millisecond {
+		t.Errorf("start = %v, want 10ms", start)
+	}
+}
+
+func TestZeroSizeTransferPaysLatency(t *testing.T) {
+	eng, f := dgx1Fabric(t)
+	p := route(t, f, 0, 1)
+	var end time.Duration
+	f.Transfer(p, 0, func(_, e time.Duration) { end = e })
+	eng.Run()
+	if end != topology.NVLinkLatency {
+		t.Errorf("zero-size end = %v, want link latency %v", end, topology.NVLinkLatency)
+	}
+}
+
+func TestPCIePathCrossSocket(t *testing.T) {
+	eng := sim.NewEngine()
+	top := topology.DGX1()
+	f := New(eng, top)
+	p, err := top.Route(0, 4, topology.RoutePCIeFallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var end time.Duration
+	f.Transfer(p, 160*units.MB, func(_, e time.Duration) { end = e })
+	eng.Run()
+	want := OneWayTime(p, 160*units.MB)
+	if end != want {
+		t.Errorf("PCIe path end = %v, want %v", end, want)
+	}
+	// The PCIe route must be slower than any NVLink route of the same size.
+	nvPath, err := top.Route(0, 6, topology.RouteStagedNVLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv := OneWayTime(nvPath, 160*units.MB); nv >= want {
+		t.Errorf("NVLink route (%v) should beat PCIe route (%v)", nv, want)
+	}
+}
+
+func TestOneWayTimeMatchesSimulatedUnloaded(t *testing.T) {
+	eng, f := dgx1Fabric(t)
+	p := route(t, f, 3, 4) // no direct link: staged via an intermediate
+	if len(p.Hops) != 2 {
+		t.Fatalf("3->4 should be staged, got %v", p)
+	}
+	var end time.Duration
+	f.Transfer(p, 64*units.MB, func(_, e time.Duration) { end = e })
+	eng.Run()
+	if want := OneWayTime(p, 64*units.MB); end != want {
+		t.Errorf("simulated %v != analytic %v", end, want)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	eng, f := dgx1Fabric(t)
+	p := route(t, f, 0, 1)
+	f.Transfer(p, units.MB, nil)
+	f.Transfer(p, units.MB, nil)
+	eng.Run()
+	st := f.Stats()
+	if len(st) != 1 {
+		t.Fatalf("stats entries = %d, want 1", len(st))
+	}
+	if st[0].Requests != 2 {
+		t.Errorf("requests = %d, want 2", st[0].Requests)
+	}
+	if st[0].From != 0 || st[0].To != 1 {
+		t.Errorf("direction = %d->%d, want 0->1", st[0].From, st[0].To)
+	}
+	if f.BusyTime(topology.NVLink) != st[0].Busy {
+		t.Error("BusyTime(NVLink) should equal the only direction's busy time")
+	}
+	if f.BusyTime(topology.PCIe) != 0 {
+		t.Error("PCIe saw no traffic")
+	}
+}
+
+func TestEmptyPathPanics(t *testing.T) {
+	eng, f := dgx1Fabric(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("empty path should panic")
+		}
+	}()
+	f.Transfer(topology.Path{}, units.MB, nil)
+	eng.Run()
+}

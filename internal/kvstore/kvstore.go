@@ -1,0 +1,122 @@
+// Package kvstore provides the MXNet-style parameter exchange layer: each
+// weight array is a key; gradients are pushed (aggregated onto the root
+// GPU) and updated weights pulled (distributed back). Two backends
+// implement the paper's two communication methods — "device" (P2P direct
+// transfers) and "nccl" (collective kernels).
+package kvstore
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/nccl"
+	"repro/internal/p2p"
+	"repro/internal/profiler"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Method selects a communication backend.
+type Method string
+
+// Communication methods, named as the paper names them.
+const (
+	MethodP2P  Method = "p2p"
+	MethodNCCL Method = "nccl"
+)
+
+// Backend moves gradients and weights for one training session.
+type Backend interface {
+	// Name returns the method name.
+	Name() Method
+	// Root returns the GPU that aggregates gradients and holds the
+	// authoritative weights (GPU 0 in the paper's MXNet).
+	Root() topology.NodeID
+	// PushGradient aggregates one key's gradient (size bytes per device)
+	// across all devices, returning when the aggregate is available on the
+	// root (and, for all-reduce backends, everywhere).
+	PushGradient(stage profiler.Stage, key string, size units.Bytes, ready time.Duration) (time.Duration, error)
+	// PullWeights distributes one key's updated weights from the root to
+	// every device, returning when the last device has them.
+	PullWeights(stage profiler.Stage, key string, size units.Bytes, ready time.Duration) (time.Duration, error)
+	// SetupCost is the one-time initialization charge (NCCL communicator
+	// construction; effectively zero for P2P).
+	SetupCost() time.Duration
+}
+
+// New creates a backend of the given method over the devices with default
+// NCCL settings (ring algorithm, as the paper measured).
+func New(method Method, rt *cuda.Runtime, devs []topology.NodeID) (Backend, error) {
+	return NewWithNCCL(method, rt, devs, nccl.DefaultConfig())
+}
+
+// NewWithNCCL is New with an explicit NCCL configuration (algorithm
+// selection, overheads) for the nccl method; the p2p method ignores it.
+func NewWithNCCL(method Method, rt *cuda.Runtime, devs []topology.NodeID, ncfg nccl.Config) (Backend, error) {
+	switch method {
+	case MethodP2P:
+		eng, err := p2p.New(rt, devs)
+		if err != nil {
+			return nil, err
+		}
+		return &deviceBackend{eng: eng}, nil
+	case MethodNCCL:
+		comm, err := nccl.New(rt, devs, ncfg)
+		if err != nil {
+			return nil, err
+		}
+		return &ncclBackend{comm: comm, root: devs[0]}, nil
+	case MethodLocal:
+		if len(devs) == 0 {
+			return nil, fmt.Errorf("kvstore: local method needs at least one device")
+		}
+		return &localBackend{rt: rt, devs: append([]topology.NodeID(nil), devs...)}, nil
+	}
+	return nil, fmt.Errorf("kvstore: unknown method %q", method)
+}
+
+// deviceBackend is the P2P direct-transfer kvstore ("device" in MXNet).
+type deviceBackend struct {
+	eng *p2p.Engine
+}
+
+func (b *deviceBackend) Name() Method             { return MethodP2P }
+func (b *deviceBackend) Root() topology.NodeID    { return b.eng.Root() }
+func (b *deviceBackend) SetupCost() time.Duration { return 0 }
+
+func (b *deviceBackend) PushGradient(stage profiler.Stage, key string, size units.Bytes, ready time.Duration) (time.Duration, error) {
+	return b.eng.ReduceToRoot(stage, size, ready)
+}
+
+func (b *deviceBackend) PullWeights(stage profiler.Stage, key string, size units.Bytes, ready time.Duration) (time.Duration, error) {
+	return b.eng.BroadcastFromRoot(stage, size, ready)
+}
+
+// ncclBackend uses AllReduce for gradients and Broadcast for weights, as
+// the paper describes MXNet's NCCL kvstore.
+type ncclBackend struct {
+	comm *nccl.Communicator
+	root topology.NodeID
+}
+
+func (b *ncclBackend) Name() Method             { return MethodNCCL }
+func (b *ncclBackend) Root() topology.NodeID    { return b.root }
+func (b *ncclBackend) SetupCost() time.Duration { return b.comm.SetupCost() }
+
+func (b *ncclBackend) PushGradient(stage profiler.Stage, key string, size units.Bytes, ready time.Duration) (time.Duration, error) {
+	return b.comm.AllReduce(stage, size, ready), nil
+}
+
+func (b *ncclBackend) PullWeights(stage profiler.Stage, key string, size units.Bytes, ready time.Duration) (time.Duration, error) {
+	return b.comm.Broadcast(stage, size, b.root, ready), nil
+}
+
+// Rings exposes the NCCL backend's ring structure for diagnostics; it
+// returns nil for other backends.
+func Rings(b Backend) []nccl.Ring {
+	if nb, ok := b.(*ncclBackend); ok {
+		return nb.comm.Rings()
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package memmodel
+
+import (
+	"repro/internal/dnn"
+	"repro/internal/units"
+)
+
+// Liveness-based activation analysis: instead of the calibrated
+// ActivationRetention scalar, walk the actual training schedule — forward
+// allocating buffers (with in-place aliasing for activations, batchnorm
+// and dropout), backward freeing a buffer once its own backward step and
+// every consumer's backward step have run, with a gradient buffer alive
+// from a node's backward until its producers consume it. The resulting
+// peak is the principled counterpart the calibrated estimator is checked
+// against (TestRetentionWithinLivenessBand).
+
+// inPlace reports whether the op can alias its input buffer.
+func inPlace(k dnn.OpKind) bool {
+	switch k {
+	case dnn.OpActivation, dnn.OpBatchNorm, dnn.OpDropout, dnn.OpFlatten, dnn.OpSoftmax:
+		return true
+	}
+	return false
+}
+
+// LivenessPeak returns the peak activation + activation-gradient bytes of
+// training one mini-batch, from a forward/backward schedule with in-place
+// aliasing and eager freeing.
+func LivenessPeak(net *dnn.Network, batch int) units.Bytes {
+	nodes := net.Nodes()
+	n := len(nodes)
+	index := make(map[*dnn.Node]int, n)
+	for i, nd := range nodes {
+		index[nd] = i
+	}
+
+	// Buffer assignment: in-place ops share their input's buffer.
+	buffer := make([]int, n) // node -> buffer id
+	bufBytes := map[int]units.Bytes{}
+	next := 0
+	for i, nd := range nodes {
+		if inPlace(nd.Op.Kind()) && len(nd.Inputs) == 1 {
+			buffer[i] = buffer[index[nd.Inputs[0]]]
+			continue
+		}
+		buffer[i] = next
+		bufBytes[next] = units.BytesOf(nd.Out.Elems()*int64(batch), units.Float32Size)
+		next++
+	}
+
+	// A buffer's last use: the latest backward step among the nodes that
+	// wrote it or read it. Backward runs in reverse topological order, so
+	// backward step of node i happens at time (2n - 1 - i) with forward
+	// step i at time i.
+	lastUse := map[int]int{}
+	use := func(node int, when int) {
+		b := buffer[node]
+		if when > lastUse[b] {
+			lastUse[b] = when
+		}
+	}
+	bwdTime := func(i int) int { return 2*n - 1 - i }
+	firstWrite := map[int]int{}
+	for i, nd := range nodes {
+		b := buffer[i]
+		if _, ok := firstWrite[b]; !ok {
+			firstWrite[b] = i
+		}
+		// The node's own backward touches its output and inputs.
+		use(i, bwdTime(i))
+		for _, in := range nd.Inputs {
+			use(index[in], bwdTime(i))
+		}
+	}
+
+	// Gradient buffers: grad of node i's buffer is alive from the first
+	// backward step of its consumers (or its own, for the head) until i's
+	// backward completes. Approximating: alive during [bwdTime(maxConsumer),
+	// bwdTime(i)].
+	consumersMax := make([]int, n)
+	for i := range consumersMax {
+		consumersMax[i] = i // own backward at least
+	}
+	for i, nd := range nodes {
+		for _, in := range nd.Inputs {
+			j := index[in]
+			if i > consumersMax[j] {
+				consumersMax[j] = i
+			}
+		}
+	}
+
+	// Sweep the 2n schedule accumulating live bytes.
+	var cur, peak units.Bytes
+	allocAt := map[int][]int{}   // time -> buffer ids allocated
+	freeAfter := map[int][]int{} // time -> buffer ids freed after
+	for b, w := range firstWrite {
+		allocAt[w] = append(allocAt[w], b)
+	}
+	for b, lu := range lastUse {
+		freeAfter[lu] = append(freeAfter[lu], b)
+	}
+	gradStart := map[int][]int{} // time -> node ids whose grad allocates
+	gradEnd := map[int][]int{}   // time -> node ids whose grad frees
+	for i := range nodes {
+		s := bwdTime(consumersMax[i])
+		e := bwdTime(i)
+		if s > e {
+			s = e
+		}
+		gradStart[s] = append(gradStart[s], i)
+		gradEnd[e] = append(gradEnd[e], i)
+	}
+	gradBytes := func(i int) units.Bytes {
+		return units.BytesOf(nodes[i].Out.Elems()*int64(batch), units.Float32Size)
+	}
+	for tm := 0; tm < 2*n; tm++ {
+		for _, b := range allocAt[tm] {
+			cur += bufBytes[b]
+		}
+		for _, i := range gradStart[tm] {
+			cur += gradBytes(i)
+		}
+		if cur > peak {
+			peak = cur
+		}
+		for _, i := range gradEnd[tm] {
+			cur -= gradBytes(i)
+		}
+		for _, b := range freeAfter[tm] {
+			cur -= bufBytes[b]
+		}
+	}
+	return peak
+}
+
+// LivenessRetention expresses the liveness peak as a fraction of the naive
+// all-outputs-resident footprint — directly comparable to the calibrated
+// ActivationRetention constant.
+func LivenessRetention(net *dnn.Network, batch int) float64 {
+	naive := float64(net.ActivationElemsPerImage()) * float64(units.Float32Size) * float64(batch)
+	if naive == 0 {
+		return 0
+	}
+	return float64(LivenessPeak(net, batch)) / naive
+}

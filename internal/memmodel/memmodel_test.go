@@ -1,0 +1,154 @@
+package memmodel
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/units"
+)
+
+func net(t *testing.T, name string) models.Description {
+	t.Helper()
+	d, err := models.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMemoryGrowsWithBatch(t *testing.T) {
+	for _, d := range models.All() {
+		prev := units.Bytes(0)
+		for _, b := range []int{16, 32, 64} {
+			e := Compute(d.Net, b, true)
+			if e.Worker() <= prev {
+				t.Errorf("%s b=%d worker %v not above previous %v", d.Name, b, e.Worker(), prev)
+			}
+			prev = e.Worker()
+		}
+	}
+}
+
+// "While the increase in the pre-training memory usage is insignificant,
+// the memory usage increases significantly during training."
+func TestPreTrainingBatchIndependent(t *testing.T) {
+	d := net(t, "inception-v3")
+	e16 := Compute(d.Net, 16, true)
+	e64 := Compute(d.Net, 64, true)
+	if e16.PreTraining != e64.PreTraining {
+		t.Error("pre-training usage should not depend on batch size")
+	}
+	if e64.FeatureMaps <= 3*e16.FeatureMaps {
+		t.Error("feature maps should grow ~linearly in batch")
+	}
+}
+
+// "For all the workloads, GPU0 uses more memory than the other GPUs" and
+// "the percentage of additional memory usage by GPU0 decreases with
+// increased batch size."
+func TestRootPremiumShrinksWithBatch(t *testing.T) {
+	for _, d := range models.All() {
+		p16 := Compute(d.Net, 16, true).RootPremiumPercent()
+		p64 := Compute(d.Net, 64, true).RootPremiumPercent()
+		if p16 <= 0 {
+			t.Errorf("%s: root premium should be positive", d.Name)
+		}
+		if p64 >= p16 {
+			t.Errorf("%s: premium should shrink with batch (16: %.2f%%, 64: %.2f%%)", d.Name, p16, p64)
+		}
+	}
+}
+
+func TestSingleGPUHasNoRootExtra(t *testing.T) {
+	d := net(t, "alexnet")
+	e := Compute(d.Net, 32, false)
+	if e.RootExtra != 0 {
+		t.Error("single-GPU training has no aggregation extra")
+	}
+	if e.Root() != e.Worker() {
+		t.Error("root == worker for single GPU")
+	}
+}
+
+// The paper's trainability boundaries on 16 GB V100s: Inception-v3 and
+// ResNet train at batch 64 but not 128; GoogLeNet trains at 128; LeNet and
+// AlexNet train at every measured batch size.
+func TestPaperOOMBoundaries(t *testing.T) {
+	cap16 := 16 * units.GB
+	cases := []struct {
+		model string
+		batch int
+		fits  bool
+	}{
+		{"inception-v3", 64, true},
+		{"inception-v3", 128, false},
+		{"resnet", 64, true},
+		{"resnet", 128, false},
+		{"googlenet", 128, true},
+		{"lenet", 256, true},
+		{"alexnet", 128, true},
+	}
+	for _, c := range cases {
+		d := net(t, c.model)
+		if got := FitsDevice(d.Net, c.batch, true, cap16); got != c.fits {
+			e := Compute(d.Net, c.batch, true)
+			t.Errorf("%s b=%d fits=%v, want %v (root=%v)", c.model, c.batch, got, c.fits, e.Root())
+		}
+	}
+}
+
+// Paper anchors: AlexNet b64 GPU0 ~2.4 GB, Inception-v3 b64 GPU0 ~11 GB.
+// The model is analytic, so allow generous bands.
+func TestPaperAbsoluteAnchors(t *testing.T) {
+	alex := net(t, "alexnet")
+	if r := Compute(alex.Net, 64, true).Root(); r < 2*units.GB || r > 3500*units.MB {
+		t.Errorf("AlexNet b64 root = %v, want ~2.4GB (2-3.4GB band)", r)
+	}
+	inc := net(t, "inception-v3")
+	if r := Compute(inc.Net, 64, true).Root(); r < 9*units.GB || r > 15*units.GB {
+		t.Errorf("Inception-v3 b64 root = %v, want ~11GB (9-15GB band)", r)
+	}
+}
+
+// "the memory required for intermediate outputs far exceeds the memory
+// required for the network model" for the large workloads.
+func TestFeatureMapsDominateForLargeNets(t *testing.T) {
+	for _, name := range []string{"resnet", "googlenet", "inception-v3"} {
+		d := net(t, name)
+		e := Compute(d.Net, 64, true)
+		if e.FeatureMaps <= 3*e.Weights {
+			t.Errorf("%s: feature maps (%v) should far exceed model (%v)", name, e.FeatureMaps, e.Weights)
+		}
+	}
+	// And the reverse holds for AlexNet (huge FC weights, modest maps).
+	alex := net(t, "alexnet")
+	e := Compute(alex.Net, 16, true)
+	if e.FeatureMaps >= e.Weights {
+		t.Errorf("AlexNet b16: weights (%v) should exceed feature maps (%v)", e.Weights, e.FeatureMaps)
+	}
+}
+
+func TestMaxBatch(t *testing.T) {
+	cands := []int{16, 32, 64, 128, 256}
+	inc := net(t, "inception-v3")
+	if got := MaxBatch(inc.Net, true, 16*units.GB, cands); got != 64 {
+		t.Errorf("Inception-v3 max batch = %d, want 64", got)
+	}
+	lenet := net(t, "lenet")
+	if got := MaxBatch(lenet.Net, true, 16*units.GB, cands); got != 256 {
+		t.Errorf("LeNet max batch = %d, want 256", got)
+	}
+	if got := MaxBatch(inc.Net, true, units.GB, cands); got != 0 {
+		t.Errorf("1GB device should fit nothing, got %d", got)
+	}
+}
+
+func TestEstimateComponentsSumToWorker(t *testing.T) {
+	d := net(t, "googlenet")
+	e := Compute(d.Net, 32, true)
+	sum := e.Weights + e.Gradients + e.Optimizer + e.FeatureMaps +
+		e.Workspace + e.InputQueue + e.Context + e.PoolSlack
+	if sum != e.Worker() {
+		t.Error("component sum != Worker()")
+	}
+}

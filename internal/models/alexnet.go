@@ -1,0 +1,37 @@
+package models
+
+import "repro/internal/dnn"
+
+// AlexNet builds the 8-layer AlexNet (5 convolutions, 3 fully-connected
+// layers, ~61M parameters) on 224x224 RGB inputs, with the original
+// 2-group convolutions in conv2/conv4/conv5.
+func AlexNet() Description {
+	in := dnn.Shape{C: 3, H: 224, W: 224}
+	b := dnn.NewBuilder("AlexNet")
+	x := b.Input("data", in)
+	x = b.Add("conv1", dnn.Conv{OutC: 96, KH: 11, KW: 11, StrideH: 4, PadH: 2, PadW: 2, Bias: true}, x)
+	x = b.Add("relu1", dnn.Activation{Mode: dnn.ReLU}, x)
+	x = b.Add("lrn1", dnn.LRN{Size: 5}, x)
+	x = b.Add("pool1", dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+	x = b.Add("conv2", dnn.Conv{OutC: 256, KH: 5, KW: 5, PadH: 2, PadW: 2, Groups: 2, Bias: true}, x)
+	x = b.Add("relu2", dnn.Activation{Mode: dnn.ReLU}, x)
+	x = b.Add("lrn2", dnn.LRN{Size: 5}, x)
+	x = b.Add("pool2", dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+	x = b.Add("conv3", dnn.Conv{OutC: 384, KH: 3, KW: 3, PadH: 1, PadW: 1, Bias: true}, x)
+	x = b.Add("relu3", dnn.Activation{Mode: dnn.ReLU}, x)
+	x = b.Add("conv4", dnn.Conv{OutC: 384, KH: 3, KW: 3, PadH: 1, PadW: 1, Groups: 2, Bias: true}, x)
+	x = b.Add("relu4", dnn.Activation{Mode: dnn.ReLU}, x)
+	x = b.Add("conv5", dnn.Conv{OutC: 256, KH: 3, KW: 3, PadH: 1, PadW: 1, Groups: 2, Bias: true}, x)
+	x = b.Add("relu5", dnn.Activation{Mode: dnn.ReLU}, x)
+	x = b.Add("pool5", dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+	x = b.Add("flatten", dnn.Flatten{}, x)
+	x = b.Add("fc6", dnn.FC{OutF: 4096, Bias: true}, x)
+	x = b.Add("relu6", dnn.Activation{Mode: dnn.ReLU}, x)
+	x = b.Add("drop6", dnn.Dropout{P: 0.5}, x)
+	x = b.Add("fc7", dnn.FC{OutF: 4096, Bias: true}, x)
+	x = b.Add("relu7", dnn.Activation{Mode: dnn.ReLU}, x)
+	x = b.Add("drop7", dnn.Dropout{P: 0.5}, x)
+	x = b.Add("fc8", dnn.FC{OutF: imageNetClasses, Bias: true}, x)
+	b.Add("softmax", dnn.Softmax{}, x)
+	return describe("AlexNet", b.Finish(), 0, false, in)
+}

@@ -1,0 +1,63 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// convRelu adds a biased convolution followed by ReLU.
+func convRelu(b *dnn.Builder, name string, x *dnn.Node, outC, kh, kw, stride, padH, padW int) *dnn.Node {
+	x = b.Add(name, dnn.Conv{OutC: outC, KH: kh, KW: kw, StrideH: stride, PadH: padH, PadW: padW, Bias: true}, x)
+	return b.Add(name+"_relu", dnn.Activation{Mode: dnn.ReLU}, x)
+}
+
+// inceptionV1 adds one GoogLeNet inception module: four parallel branches
+// (1x1; 1x1->3x3; 1x1->5x5; pool->1x1) concatenated along channels.
+func inceptionV1(b *dnn.Builder, name string, x *dnn.Node, c1, c3r, c3, c5r, c5, pp int) *dnn.Node {
+	p := func(s string) string { return fmt.Sprintf("%s_%s", name, s) }
+	b1 := convRelu(b, p("1x1"), x, c1, 1, 1, 1, 0, 0)
+	b2 := convRelu(b, p("3x3r"), x, c3r, 1, 1, 1, 0, 0)
+	b2 = convRelu(b, p("3x3"), b2, c3, 3, 3, 1, 1, 1)
+	b3 := convRelu(b, p("5x5r"), x, c5r, 1, 1, 1, 0, 0)
+	b3 = convRelu(b, p("5x5"), b3, c5, 5, 5, 1, 2, 2)
+	b4 := b.Add(p("pool"), dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 1, Pad: 1}, x)
+	b4 = convRelu(b, p("poolp"), b4, pp, 1, 1, 1, 0, 0)
+	return b.Add(p("concat"), dnn.Concat{}, b1, b2, b3, b4)
+}
+
+// GoogLeNet builds the 22-layer GoogLeNet (Inception v1) with its nine
+// inception modules (~7M parameters) on 224x224 RGB inputs. The auxiliary
+// classifiers are omitted, as in the MXNet image-classification example the
+// paper's framework ships.
+func GoogLeNet() Description {
+	in := dnn.Shape{C: 3, H: 224, W: 224}
+	b := dnn.NewBuilder("GoogLeNet")
+	x := b.Input("data", in)
+	x = convRelu(b, "conv1", x, 64, 7, 7, 2, 3, 3)
+	x = b.Add("pool1", dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+	x = b.Add("lrn1", dnn.LRN{Size: 5}, x)
+	x = convRelu(b, "conv2r", x, 64, 1, 1, 1, 0, 0)
+	x = convRelu(b, "conv2", x, 192, 3, 3, 1, 1, 1)
+	x = b.Add("lrn2", dnn.LRN{Size: 5}, x)
+	x = b.Add("pool2", dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+
+	x = inceptionV1(b, "3a", x, 64, 96, 128, 16, 32, 32)
+	x = inceptionV1(b, "3b", x, 128, 128, 192, 32, 96, 64)
+	x = b.Add("pool3", dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+	x = inceptionV1(b, "4a", x, 192, 96, 208, 16, 48, 64)
+	x = inceptionV1(b, "4b", x, 160, 112, 224, 24, 64, 64)
+	x = inceptionV1(b, "4c", x, 128, 128, 256, 24, 64, 64)
+	x = inceptionV1(b, "4d", x, 112, 144, 288, 32, 64, 64)
+	x = inceptionV1(b, "4e", x, 256, 160, 320, 32, 128, 128)
+	x = b.Add("pool4", dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+	x = inceptionV1(b, "5a", x, 256, 160, 320, 32, 128, 128)
+	x = inceptionV1(b, "5b", x, 384, 192, 384, 48, 128, 128)
+
+	x = b.Add("gap", dnn.Pool{Mode: dnn.AvgPool, Global: true}, x)
+	x = b.Add("drop", dnn.Dropout{P: 0.4}, x)
+	x = b.Add("flatten", dnn.Flatten{}, x)
+	x = b.Add("fc", dnn.FC{OutF: imageNetClasses, Bias: true}, x)
+	b.Add("softmax", dnn.Softmax{}, x)
+	return describe("GoogLeNet", b.Finish(), 9, false, in)
+}

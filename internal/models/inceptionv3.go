@@ -1,0 +1,130 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// convBN adds an unbiased convolution + batchnorm + ReLU, the basic unit of
+// Inception-v3.
+func convBN(b *dnn.Builder, name string, x *dnn.Node, outC, kh, kw, strideH, strideW, padH, padW int) *dnn.Node {
+	x = b.Add(name, dnn.Conv{OutC: outC, KH: kh, KW: kw, StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW}, x)
+	x = b.Add(name+"_bn", dnn.BatchNorm{}, x)
+	return b.Add(name+"_relu", dnn.Activation{Mode: dnn.ReLU}, x)
+}
+
+// square convBN with equal kernel/stride/pad on both axes.
+func convBNsq(b *dnn.Builder, name string, x *dnn.Node, outC, k, stride, pad int) *dnn.Node {
+	return convBN(b, name, x, outC, k, k, stride, stride, pad, pad)
+}
+
+// inceptionA is the 35x35 module: 1x1, 5x5, double-3x3, and pooled-1x1
+// branches.
+func inceptionA(b *dnn.Builder, name string, x *dnn.Node, poolProj int) *dnn.Node {
+	p := func(s string) string { return fmt.Sprintf("%s_%s", name, s) }
+	b1 := convBNsq(b, p("1x1"), x, 64, 1, 1, 0)
+	b2 := convBNsq(b, p("5x5r"), x, 48, 1, 1, 0)
+	b2 = convBNsq(b, p("5x5"), b2, 64, 5, 1, 2)
+	b3 := convBNsq(b, p("d3x3r"), x, 64, 1, 1, 0)
+	b3 = convBNsq(b, p("d3x3a"), b3, 96, 3, 1, 1)
+	b3 = convBNsq(b, p("d3x3b"), b3, 96, 3, 1, 1)
+	b4 := b.Add(p("pool"), dnn.Pool{Mode: dnn.AvgPool, K: 3, Stride: 1, Pad: 1}, x)
+	b4 = convBNsq(b, p("poolp"), b4, poolProj, 1, 1, 0)
+	return b.Add(p("concat"), dnn.Concat{}, b1, b2, b3, b4)
+}
+
+// reductionB shrinks 35x35 to 17x17.
+func reductionB(b *dnn.Builder, name string, x *dnn.Node) *dnn.Node {
+	p := func(s string) string { return fmt.Sprintf("%s_%s", name, s) }
+	b1 := convBNsq(b, p("3x3"), x, 384, 3, 2, 0)
+	b2 := convBNsq(b, p("d3x3r"), x, 64, 1, 1, 0)
+	b2 = convBNsq(b, p("d3x3a"), b2, 96, 3, 1, 1)
+	b2 = convBNsq(b, p("d3x3b"), b2, 96, 3, 2, 0)
+	b3 := b.Add(p("pool"), dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+	return b.Add(p("concat"), dnn.Concat{}, b1, b2, b3)
+}
+
+// inceptionC is the 17x17 module with factorized 7x7 convolutions.
+func inceptionC(b *dnn.Builder, name string, x *dnn.Node, c7 int) *dnn.Node {
+	p := func(s string) string { return fmt.Sprintf("%s_%s", name, s) }
+	b1 := convBNsq(b, p("1x1"), x, 192, 1, 1, 0)
+	b2 := convBNsq(b, p("7x7r"), x, c7, 1, 1, 0)
+	b2 = convBN(b, p("1x7"), b2, c7, 1, 7, 1, 1, 0, 3)
+	b2 = convBN(b, p("7x1"), b2, 192, 7, 1, 1, 1, 3, 0)
+	b3 := convBNsq(b, p("d7x7r"), x, c7, 1, 1, 0)
+	b3 = convBN(b, p("d7x1a"), b3, c7, 7, 1, 1, 1, 3, 0)
+	b3 = convBN(b, p("d1x7a"), b3, c7, 1, 7, 1, 1, 0, 3)
+	b3 = convBN(b, p("d7x1b"), b3, c7, 7, 1, 1, 1, 3, 0)
+	b3 = convBN(b, p("d1x7b"), b3, 192, 1, 7, 1, 1, 0, 3)
+	b4 := b.Add(p("pool"), dnn.Pool{Mode: dnn.AvgPool, K: 3, Stride: 1, Pad: 1}, x)
+	b4 = convBNsq(b, p("poolp"), b4, 192, 1, 1, 0)
+	return b.Add(p("concat"), dnn.Concat{}, b1, b2, b3, b4)
+}
+
+// reductionD shrinks 17x17 to 8x8.
+func reductionD(b *dnn.Builder, name string, x *dnn.Node) *dnn.Node {
+	p := func(s string) string { return fmt.Sprintf("%s_%s", name, s) }
+	b1 := convBNsq(b, p("3x3r"), x, 192, 1, 1, 0)
+	b1 = convBNsq(b, p("3x3"), b1, 320, 3, 2, 0)
+	b2 := convBNsq(b, p("7x7r"), x, 192, 1, 1, 0)
+	b2 = convBN(b, p("1x7"), b2, 192, 1, 7, 1, 1, 0, 3)
+	b2 = convBN(b, p("7x1"), b2, 192, 7, 1, 1, 1, 3, 0)
+	b2 = convBNsq(b, p("3x3b"), b2, 192, 3, 2, 0)
+	b3 := b.Add(p("pool"), dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+	return b.Add(p("concat"), dnn.Concat{}, b1, b2, b3)
+}
+
+// inceptionE is the 8x8 module with split 3x3 branches.
+func inceptionE(b *dnn.Builder, name string, x *dnn.Node) *dnn.Node {
+	p := func(s string) string { return fmt.Sprintf("%s_%s", name, s) }
+	b1 := convBNsq(b, p("1x1"), x, 320, 1, 1, 0)
+	b2 := convBNsq(b, p("3x3r"), x, 384, 1, 1, 0)
+	b2a := convBN(b, p("1x3"), b2, 384, 1, 3, 1, 1, 0, 1)
+	b2b := convBN(b, p("3x1"), b2, 384, 3, 1, 1, 1, 1, 0)
+	b2c := b.Add(p("split2"), dnn.Concat{}, b2a, b2b)
+	b3 := convBNsq(b, p("d3x3r"), x, 448, 1, 1, 0)
+	b3 = convBNsq(b, p("d3x3"), b3, 384, 3, 1, 1)
+	b3a := convBN(b, p("d1x3"), b3, 384, 1, 3, 1, 1, 0, 1)
+	b3b := convBN(b, p("d3x1"), b3, 384, 3, 1, 1, 1, 1, 0)
+	b3c := b.Add(p("split3"), dnn.Concat{}, b3a, b3b)
+	b4 := b.Add(p("pool"), dnn.Pool{Mode: dnn.AvgPool, K: 3, Stride: 1, Pad: 1}, x)
+	b4 = convBNsq(b, p("poolp"), b4, 192, 1, 1, 0)
+	return b.Add(p("concat"), dnn.Concat{}, b1, b2c, b3c, b4)
+}
+
+// InceptionV3 builds the 48-layer Inception-v3 (~23.8M parameters) on
+// 299x299 RGB inputs, without the auxiliary classifier (the training
+// example in the paper's MXNet container omits it).
+func InceptionV3() Description {
+	in := dnn.Shape{C: 3, H: 299, W: 299}
+	b := dnn.NewBuilder("Inception-v3")
+	x := b.Input("data", in)
+	x = convBNsq(b, "stem1", x, 32, 3, 2, 0)
+	x = convBNsq(b, "stem2", x, 32, 3, 1, 0)
+	x = convBNsq(b, "stem3", x, 64, 3, 1, 1)
+	x = b.Add("stem_pool1", dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+	x = convBNsq(b, "stem4", x, 80, 1, 1, 0)
+	x = convBNsq(b, "stem5", x, 192, 3, 1, 0)
+	x = b.Add("stem_pool2", dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+
+	x = inceptionA(b, "a1", x, 32)
+	x = inceptionA(b, "a2", x, 64)
+	x = inceptionA(b, "a3", x, 64)
+	x = reductionB(b, "rb", x)
+	x = inceptionC(b, "c1", x, 128)
+	x = inceptionC(b, "c2", x, 160)
+	x = inceptionC(b, "c3", x, 160)
+	x = inceptionC(b, "c4", x, 192)
+	x = reductionD(b, "rd", x)
+	x = inceptionE(b, "e1", x)
+	x = inceptionE(b, "e2", x)
+
+	x = b.Add("gap", dnn.Pool{Mode: dnn.AvgPool, Global: true}, x)
+	x = b.Add("drop", dnn.Dropout{P: 0.5}, x)
+	x = b.Add("flatten", dnn.Flatten{}, x)
+	x = b.Add("fc", dnn.FC{OutF: imageNetClasses, Bias: true}, x)
+	b.Add("softmax", dnn.Softmax{}, x)
+	// 11 mixed modules: 3 A + 1 reduction-B + 4 C + 1 reduction-D + 2 E.
+	return describe("Inception-v3", b.Finish(), 11, false, in)
+}

@@ -1,0 +1,26 @@
+package models
+
+import "repro/internal/dnn"
+
+// LeNet builds the classic LeNet-5: two convolution layers and three
+// fully-connected layers on 28x28 grayscale inputs (~61.7K parameters,
+// matching the "K"-scale weight count in the paper's Table I).
+func LeNet() Description {
+	in := dnn.Shape{C: 1, H: 28, W: 28}
+	b := dnn.NewBuilder("LeNet")
+	x := b.Input("data", in)
+	x = b.Add("conv1", dnn.Conv{OutC: 6, KH: 5, KW: 5, PadH: 2, PadW: 2, Bias: true}, x)
+	x = b.Add("tanh1", dnn.Activation{Mode: dnn.Tanh}, x)
+	x = b.Add("pool1", dnn.Pool{Mode: dnn.MaxPool, K: 2, Stride: 2}, x)
+	x = b.Add("conv2", dnn.Conv{OutC: 16, KH: 5, KW: 5, Bias: true}, x)
+	x = b.Add("tanh2", dnn.Activation{Mode: dnn.Tanh}, x)
+	x = b.Add("pool2", dnn.Pool{Mode: dnn.MaxPool, K: 2, Stride: 2}, x)
+	x = b.Add("flatten", dnn.Flatten{}, x)
+	x = b.Add("fc1", dnn.FC{OutF: 120, Bias: true}, x)
+	x = b.Add("tanh3", dnn.Activation{Mode: dnn.Tanh}, x)
+	x = b.Add("fc2", dnn.FC{OutF: 84, Bias: true}, x)
+	x = b.Add("tanh4", dnn.Activation{Mode: dnn.Tanh}, x)
+	x = b.Add("fc3", dnn.FC{OutF: leNetClasses, Bias: true}, x)
+	b.Add("softmax", dnn.Softmax{}, x)
+	return describe("LeNet", b.Finish(), 0, false, in)
+}

@@ -1,0 +1,192 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+)
+
+// Published parameter counts for the five architectures. The zoo derives
+// counts from layer structure; matching these exactly validates every
+// layer's configuration.
+func TestParameterCountsMatchPublishedArchitectures(t *testing.T) {
+	want := map[string]int64{
+		"LeNet":        61706,    // classic LeNet-5, 10 classes
+		"AlexNet":      60965224, // grouped AlexNet, 1000 classes
+		"GoogLeNet":    6998552,  // Inception v1 without aux heads
+		"Inception-v3": 23834568, // without aux head
+		"ResNet":       25557032, // ResNet-50
+	}
+	for _, d := range All() {
+		if got := d.Params; got != want[d.Name] {
+			t.Errorf("%s params = %d, want %d", d.Name, got, want[d.Name])
+		}
+		if d.Params != d.Net.ParamCount() {
+			t.Errorf("%s description/params mismatch", d.Name)
+		}
+	}
+}
+
+func TestCanonicalDepths(t *testing.T) {
+	want := map[string]int{
+		"LeNet":        5,
+		"AlexNet":      8,
+		"GoogLeNet":    22,
+		"Inception-v3": 48,
+		"ResNet":       50,
+	}
+	for _, d := range All() {
+		if d.Depth != want[d.Name] {
+			t.Errorf("%s depth = %d, want %d", d.Name, d.Depth, want[d.Name])
+		}
+	}
+}
+
+// Table I structure: conv/inception/FC layer counts.
+func TestTableIStructure(t *testing.T) {
+	cases := map[string]struct{ conv, incep, fc int }{
+		"LeNet":        {2, 0, 3},
+		"AlexNet":      {5, 0, 3},
+		"GoogLeNet":    {57, 9, 1},
+		"Inception-v3": {94, 11, 1},
+		"ResNet":       {53, 0, 1},
+	}
+	for _, d := range All() {
+		c := cases[d.Name]
+		if d.ConvLayers != c.conv || d.InceptionModules != c.incep || d.FCLayers != c.fc {
+			t.Errorf("%s structure = conv %d/incep %d/fc %d, want %+v",
+				d.Name, d.ConvLayers, d.InceptionModules, d.FCLayers, c)
+		}
+	}
+	for _, d := range All() {
+		if d.Residual != (d.Name == "ResNet") {
+			t.Errorf("%s residual flag = %v", d.Name, d.Residual)
+		}
+	}
+}
+
+// Published per-image forward FLOPs (2 FLOPs per MAC), ±15%: AlexNet
+// ~1.4G, GoogLeNet ~3G, ResNet-50 ~7.7-8.2G, Inception-v3 ~11.4G.
+func TestForwardFLOPsInPublishedRange(t *testing.T) {
+	ranges := map[string][2]float64{
+		"LeNet":        {0.5e6, 10e6},
+		"AlexNet":      {1.2e9, 1.7e9},
+		"GoogLeNet":    {2.7e9, 3.5e9},
+		"Inception-v3": {10e9, 13e9},
+		"ResNet":       {7e9, 9e9},
+	}
+	for _, d := range All() {
+		f := float64(d.Net.FwdFLOPsPerImage())
+		r := ranges[d.Name]
+		if f < r[0] || f > r[1] {
+			t.Errorf("%s fwd FLOPs/img = %.3g, want in [%.3g, %.3g]", d.Name, f, r[0], r[1])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range Names() {
+		d, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if d.Net == nil {
+			t.Fatalf("ByName(%q) returned nil network", n)
+		}
+	}
+	if _, err := ByName("vgg"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestInputShapes(t *testing.T) {
+	shapes := map[string]dnn.Shape{
+		"LeNet":        {C: 1, H: 28, W: 28},
+		"AlexNet":      {C: 3, H: 224, W: 224},
+		"GoogLeNet":    {C: 3, H: 224, W: 224},
+		"Inception-v3": {C: 3, H: 299, W: 299},
+		"ResNet":       {C: 3, H: 224, W: 224},
+	}
+	for _, d := range All() {
+		if d.InputShape != shapes[d.Name] {
+			t.Errorf("%s input = %v, want %v", d.Name, d.InputShape, shapes[d.Name])
+		}
+	}
+}
+
+// Architectural invariants the paper's analysis relies on.
+func TestPaperOrderings(t *testing.T) {
+	byName := map[string]Description{}
+	for _, d := range All() {
+		byName[d.Name] = d
+	}
+	// "LeNet and AlexNet have a higher number of parameters because of
+	// their relatively larger number of fully connected layers" — AlexNet
+	// has the most weights overall.
+	if byName["AlexNet"].Params <= byName["Inception-v3"].Params {
+		t.Error("AlexNet should out-weigh Inception-v3")
+	}
+	// "GoogLeNet and Inception-v3 require a smaller number of parameters
+	// compared to AlexNet because of the inception layers."
+	if byName["GoogLeNet"].Params >= byName["AlexNet"].Params {
+		t.Error("GoogLeNet should have fewer params than AlexNet")
+	}
+	// Compute intensity ordering drives the FP+BP results: Inception-v3 >
+	// ResNet > GoogLeNet > AlexNet > LeNet.
+	order := []string{"Inception-v3", "ResNet", "GoogLeNet", "AlexNet", "LeNet"}
+	for i := 0; i+1 < len(order); i++ {
+		if byName[order[i]].Net.FwdFLOPsPerImage() <= byName[order[i+1]].Net.FwdFLOPsPerImage() {
+			t.Errorf("%s should cost more FLOPs than %s", order[i], order[i+1])
+		}
+	}
+}
+
+// Spot-check key intermediate shapes of each network.
+func TestKnownIntermediateShapes(t *testing.T) {
+	find := func(d Description, name string) *dnn.Node {
+		for _, n := range d.Net.Nodes() {
+			if n.Name == name {
+				return n
+			}
+		}
+		t.Fatalf("%s: node %q not found", d.Name, name)
+		return nil
+	}
+	alex, _ := ByName("alexnet")
+	if got := find(alex, "pool5").Out; got != (dnn.Shape{C: 256, H: 6, W: 6}) {
+		t.Errorf("AlexNet pool5 = %v, want 256x6x6", got)
+	}
+	goog, _ := ByName("googlenet")
+	if got := find(goog, "3a_concat").Out; got != (dnn.Shape{C: 256, H: 28, W: 28}) {
+		t.Errorf("GoogLeNet 3a = %v, want 256x28x28", got)
+	}
+	if got := find(goog, "5b_concat").Out; got != (dnn.Shape{C: 1024, H: 7, W: 7}) {
+		t.Errorf("GoogLeNet 5b = %v, want 1024x7x7", got)
+	}
+	inc, _ := ByName("inception-v3")
+	if got := find(inc, "stem_pool2").Out; got != (dnn.Shape{C: 192, H: 35, W: 35}) {
+		t.Errorf("Inception stem = %v, want 192x35x35", got)
+	}
+	if got := find(inc, "e2_concat").Out; got != (dnn.Shape{C: 2048, H: 8, W: 8}) {
+		t.Errorf("Inception e2 = %v, want 2048x8x8", got)
+	}
+	res, _ := ByName("resnet")
+	if got := find(res, "pool1").Out; got != (dnn.Shape{C: 64, H: 56, W: 56}) {
+		t.Errorf("ResNet pool1 = %v, want 64x56x56", got)
+	}
+	if got := find(res, "res5_c_relu").Out; got != (dnn.Shape{C: 2048, H: 7, W: 7}) {
+		t.Errorf("ResNet res5c = %v, want 2048x7x7", got)
+	}
+}
+
+func TestWeightedLayerTotalsMatchParamCount(t *testing.T) {
+	for _, d := range All() {
+		var sum int64
+		for _, wl := range d.Net.WeightedLayers() {
+			sum += wl.Params
+		}
+		if sum != d.Params {
+			t.Errorf("%s weighted layer sum %d != params %d", d.Name, sum, d.Params)
+		}
+	}
+}

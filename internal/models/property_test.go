@@ -1,0 +1,116 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+)
+
+// Structural invariants that must hold for every network in the zoo.
+func TestZooGraphInvariants(t *testing.T) {
+	for _, d := range All() {
+		nodes := d.Net.Nodes()
+		index := map[*dnn.Node]int{}
+		for i, nd := range nodes {
+			index[nd] = i
+		}
+		if nodes[0].Op.Kind() != dnn.OpInput {
+			t.Errorf("%s: first node is %s, want input", d.Name, nodes[0].Op.Kind())
+		}
+		if nodes[len(nodes)-1].Op.Kind() != dnn.OpSoftmax {
+			t.Errorf("%s: last node is %s, want softmax", d.Name, nodes[len(nodes)-1].Op.Kind())
+		}
+		consumers := map[*dnn.Node]int{}
+		for i, nd := range nodes {
+			if !nd.Out.Valid() {
+				t.Errorf("%s/%s: invalid shape %v", d.Name, nd.Name, nd.Out)
+			}
+			if nd.ParamsN < 0 || nd.FwdFLOPs < 0 {
+				t.Errorf("%s/%s: negative costs", d.Name, nd.Name)
+			}
+			for _, in := range nd.Inputs {
+				j, ok := index[in]
+				if !ok {
+					t.Fatalf("%s/%s: input outside the graph", d.Name, nd.Name)
+				}
+				if j >= i {
+					t.Fatalf("%s/%s: input %s not topologically earlier", d.Name, nd.Name, in.Name)
+				}
+				consumers[in]++
+			}
+		}
+		// Every node except the final head is consumed by someone.
+		for i, nd := range nodes[:len(nodes)-1] {
+			if consumers[nd] == 0 {
+				t.Errorf("%s: dangling node %s (index %d)", d.Name, nd.Name, i)
+			}
+		}
+	}
+}
+
+// Plan invariants over the zoo: every weighted layer appears exactly once
+// in the backward plan, kernels have positive demand, and batch scaling is
+// exact.
+func TestZooPlanInvariants(t *testing.T) {
+	opt := dnn.PlanOptions{TensorCores: true}
+	for _, d := range All() {
+		weighted := map[string]bool{}
+		for _, wl := range d.Net.WeightedLayers() {
+			weighted[wl.Name] = true
+		}
+		seen := map[string]int{}
+		for _, step := range d.Net.BackwardPlan(16, opt) {
+			if step.Layer != nil {
+				seen[step.Layer.Name]++
+			}
+			for _, k := range step.Kernels {
+				if k.Parallelism <= 0 || k.MemBytes <= 0 {
+					t.Errorf("%s/%s: degenerate kernel %+v", d.Name, step.Node.Name, k)
+				}
+			}
+		}
+		for name := range weighted {
+			if seen[name] != 1 {
+				t.Errorf("%s: layer %s gradient produced %d times", d.Name, name, seen[name])
+			}
+		}
+		if len(seen) != len(weighted) {
+			t.Errorf("%s: %d gradient layers vs %d weighted layers", d.Name, len(seen), len(weighted))
+		}
+	}
+}
+
+// Layer profiles over the zoo must be internally consistent: total times
+// positive, conv layers never classified as overhead-bound at batch 64 on
+// the big nets' large layers.
+func TestZooLayerProfiles(t *testing.T) {
+	spec := gpu.V100()
+	for _, d := range All() {
+		stats := dnn.ProfileLayers(d.Net, 16, spec, dnn.PlanOptions{TensorCores: true})
+		if len(stats) == 0 {
+			t.Fatalf("%s: empty profile", d.Name)
+		}
+		var total int64
+		for _, s := range stats {
+			if s.FPTime <= 0 || s.BPTime < 0 {
+				t.Errorf("%s/%s: bad times", d.Name, s.Name)
+			}
+			total += int64(s.Total())
+		}
+		top := dnn.TopLayers(stats, 1)[0]
+		if float64(int64(top.Total())) < float64(total)/float64(len(stats)) {
+			t.Errorf("%s: top layer below mean — ordering broken", d.Name)
+		}
+	}
+}
+
+// Every zoo model has cut points enough for an 8-stage pipeline.
+func TestZooCutPointsSupportPipelines(t *testing.T) {
+	for _, d := range All() {
+		cuts := d.Net.CutPoints()
+		if len(cuts) < 7 {
+			t.Errorf("%s: only %d cut points", d.Name, len(cuts))
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// bottleneck adds one ResNet-50 bottleneck block (1x1 reduce, 3x3, 1x1
+// expand, shortcut add). stride applies to the 3x3 convolution; a
+// projection shortcut is inserted when the shape changes.
+func bottleneck(b *dnn.Builder, name string, x *dnn.Node, mid, out, stride int) *dnn.Node {
+	p := func(s string) string { return fmt.Sprintf("%s_%s", name, s) }
+	shortcut := x
+	if x.Out.C != out || stride != 1 {
+		shortcut = b.Add(p("proj"), dnn.Conv{OutC: out, KH: 1, KW: 1, StrideH: stride}, x)
+		shortcut = b.Add(p("proj_bn"), dnn.BatchNorm{}, shortcut)
+	}
+	y := convBNsq(b, p("1x1a"), x, mid, 1, 1, 0)
+	y = convBNsq(b, p("3x3"), y, mid, 3, stride, 1)
+	y = b.Add(p("1x1b"), dnn.Conv{OutC: out, KH: 1, KW: 1}, y)
+	y = b.Add(p("1x1b_bn"), dnn.BatchNorm{}, y)
+	y = b.Add(p("add"), dnn.Add{}, y, shortcut)
+	return b.Add(p("relu"), dnn.Activation{Mode: dnn.ReLU}, y)
+}
+
+// ResNet50 builds the 50-layer residual network (~25.6M parameters) on
+// 224x224 RGB inputs: a 7x7 stem and four bottleneck stages of 3/4/6/3
+// blocks.
+func ResNet50() Description {
+	in := dnn.Shape{C: 3, H: 224, W: 224}
+	b := dnn.NewBuilder("ResNet")
+	x := b.Input("data", in)
+	x = convBNsq(b, "conv1", x, 64, 7, 2, 3)
+	x = b.Add("pool1", dnn.Pool{Mode: dnn.MaxPool, K: 3, Stride: 2}, x)
+
+	stages := []struct {
+		name   string
+		mid    int
+		out    int
+		blocks int
+		stride int
+	}{
+		{"res2", 64, 256, 3, 1},
+		{"res3", 128, 512, 4, 2},
+		{"res4", 256, 1024, 6, 2},
+		{"res5", 512, 2048, 3, 2},
+	}
+	for _, st := range stages {
+		for i := 0; i < st.blocks; i++ {
+			stride := 1
+			if i == 0 {
+				stride = st.stride
+			}
+			x = bottleneck(b, fmt.Sprintf("%s_%c", st.name, 'a'+i), x, st.mid, st.out, stride)
+		}
+	}
+
+	x = b.Add("gap", dnn.Pool{Mode: dnn.AvgPool, Global: true}, x)
+	x = b.Add("flatten", dnn.Flatten{}, x)
+	x = b.Add("fc", dnn.FC{OutF: imageNetClasses, Bias: true}, x)
+	b.Add("softmax", dnn.Softmax{}, x)
+	return describe("ResNet", b.Finish(), 0, true, in)
+}

@@ -1,0 +1,189 @@
+package nccl
+
+import "fmt"
+
+// This file contains functional implementations of the ring collectives on
+// real float32 buffers — the same chunked reduce-scatter + all-gather
+// schedule the timed model prices. They exist to pin the modeled algorithms
+// to real, testable semantics (and they are genuinely usable as in-process
+// collectives).
+
+// chunkBounds returns the [lo, hi) element range of chunk i when n elements
+// are split across size chunks (remainder spread over the leading chunks,
+// as NCCL splits buffers).
+func chunkBounds(n, size, i int) (lo, hi int) {
+	base := n / size
+	rem := n % size
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RingAllReduce sums the rank buffers elementwise, leaving the full result
+// in every buffer, using the ring algorithm: N-1 reduce-scatter steps
+// followed by N-1 all-gather steps. All buffers must have equal length.
+func RingAllReduce(bufs [][]float32) error {
+	n := len(bufs)
+	if n == 0 {
+		return fmt.Errorf("nccl: no ranks")
+	}
+	elems := len(bufs[0])
+	for r, b := range bufs {
+		if len(b) != elems {
+			return fmt.Errorf("nccl: rank %d has %d elements, rank 0 has %d", r, len(b), elems)
+		}
+	}
+	if n == 1 {
+		return nil
+	}
+	// Reduce-scatter: after step s, rank r holds the running sum of chunk
+	// (r - s + N) % N from ranks r-s..r.
+	for step := 0; step < n-1; step++ {
+		for r := 0; r < n; r++ {
+			src := (r - 1 + n) % n
+			chunk := (r - 1 - step + 2*n) % n
+			lo, hi := chunkBounds(elems, n, chunk)
+			for i := lo; i < hi; i++ {
+				bufs[r][i] += bufs[src][i]
+			}
+		}
+	}
+	// The fully reduced chunk c now lives on rank (c + n - 1) % n... after
+	// n-1 steps rank r holds the complete sum of chunk (r+1) % n.
+	// All-gather: circulate the completed chunks.
+	for step := 0; step < n-1; step++ {
+		for r := 0; r < n; r++ {
+			src := (r - 1 + n) % n
+			chunk := (r - step + 2*n) % n
+			lo, hi := chunkBounds(elems, n, chunk)
+			copy(bufs[r][lo:hi], bufs[src][lo:hi])
+		}
+	}
+	return nil
+}
+
+// RingReduceScatter runs the reduce-scatter half of the ring algorithm:
+// after N-1 steps, rank r holds the complete elementwise sum of chunk
+// (r+1) mod N (the same ownership layout RingAllReduce's gather phase
+// starts from). Other chunks are left holding partial sums.
+func RingReduceScatter(bufs [][]float32) error {
+	n := len(bufs)
+	if n == 0 {
+		return fmt.Errorf("nccl: no ranks")
+	}
+	elems := len(bufs[0])
+	for r, b := range bufs {
+		if len(b) != elems {
+			return fmt.Errorf("nccl: rank %d has %d elements, rank 0 has %d", r, len(b), elems)
+		}
+	}
+	for step := 0; step < n-1; step++ {
+		for r := 0; r < n; r++ {
+			src := (r - 1 + n) % n
+			chunk := (r - 1 - step + 2*n) % n
+			lo, hi := chunkBounds(elems, n, chunk)
+			for i := lo; i < hi; i++ {
+				bufs[r][i] += bufs[src][i]
+			}
+		}
+	}
+	return nil
+}
+
+// OwnedChunk returns the [lo, hi) element range rank r owns (holds fully
+// reduced) after RingReduceScatter over n ranks of an elems-sized buffer.
+func OwnedChunk(elems, n, r int) (lo, hi int) {
+	return chunkBounds(elems, n, (r+1)%n)
+}
+
+// RingAllGather circulates each rank's owned chunk (per OwnedChunk layout)
+// around the ring until every rank holds the full buffer — the gather half
+// of the ring all-reduce.
+func RingAllGather(bufs [][]float32) error {
+	n := len(bufs)
+	if n == 0 {
+		return fmt.Errorf("nccl: no ranks")
+	}
+	elems := len(bufs[0])
+	for r, b := range bufs {
+		if len(b) != elems {
+			return fmt.Errorf("nccl: rank %d has %d elements, rank 0 has %d", r, len(b), elems)
+		}
+	}
+	for step := 0; step < n-1; step++ {
+		for r := 0; r < n; r++ {
+			src := (r - 1 + n) % n
+			chunk := (r - step + 2*n) % n
+			lo, hi := chunkBounds(elems, n, chunk)
+			copy(bufs[r][lo:hi], bufs[src][lo:hi])
+		}
+	}
+	return nil
+}
+
+// RingBroadcast copies the root rank's buffer to every rank by forwarding
+// around the ring.
+func RingBroadcast(bufs [][]float32, root int) error {
+	n := len(bufs)
+	if n == 0 {
+		return fmt.Errorf("nccl: no ranks")
+	}
+	if root < 0 || root >= n {
+		return fmt.Errorf("nccl: root %d out of range [0,%d)", root, n)
+	}
+	elems := len(bufs[root])
+	for r, b := range bufs {
+		if len(b) != elems {
+			return fmt.Errorf("nccl: rank %d has %d elements, root has %d", r, len(b), elems)
+		}
+	}
+	for step := 1; step < n; step++ {
+		dst := (root + step) % n
+		src := (root + step - 1) % n
+		copy(bufs[dst], bufs[src])
+	}
+	return nil
+}
+
+// RingReduce sums all rank buffers into the root's buffer (other buffers
+// are left holding partial sums, as the real algorithm does).
+func RingReduce(bufs [][]float32, root int) error {
+	n := len(bufs)
+	if n == 0 {
+		return fmt.Errorf("nccl: no ranks")
+	}
+	if root < 0 || root >= n {
+		return fmt.Errorf("nccl: root %d out of range [0,%d)", root, n)
+	}
+	elems := len(bufs[root])
+	for r, b := range bufs {
+		if len(b) != elems {
+			return fmt.Errorf("nccl: rank %d has %d elements, root has %d", r, len(b), elems)
+		}
+	}
+	// A running buffer travels around the ring from (root+1)%n, each rank
+	// adding its payload, and lands on the root.
+	carrier := make([]float32, elems)
+	copy(carrier, bufs[(root+1)%n])
+	for step := 2; step <= n; step++ {
+		r := (root + step) % n
+		for i := range carrier {
+			carrier[i] += bufs[r][i]
+		}
+		if r == root {
+			copy(bufs[root], carrier)
+			break
+		}
+	}
+	return nil
+}

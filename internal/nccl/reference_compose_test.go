@@ -1,0 +1,112 @@
+package nccl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The load-bearing compositional property: reduce-scatter followed by
+// all-gather IS all-reduce. This pins the two halves to the exact chunk
+// ownership layout the timed model's 2(N-1)/N traffic factor assumes.
+func TestReduceScatterThenAllGatherEqualsAllReduce(t *testing.T) {
+	f := func(seed int64, nr, ne uint8) bool {
+		ranks := int(nr%8) + 1
+		elems := int(ne%60) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randBufs(rng, ranks, elems)
+		b := make([][]float32, ranks)
+		for r := range a {
+			b[r] = append([]float32(nil), a[r]...)
+		}
+		if err := RingAllReduce(a); err != nil {
+			return false
+		}
+		if err := RingReduceScatter(b); err != nil {
+			return false
+		}
+		if err := RingAllGather(b); err != nil {
+			return false
+		}
+		for r := range a {
+			for i := range a[r] {
+				if !approxEq(a[r][i], b[r][i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceScatterOwnedChunksComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, ranks := range []int{2, 3, 5, 8} {
+		elems := 37
+		bufs := randBufs(rng, ranks, elems)
+		want := naiveSum(bufs)
+		if err := RingReduceScatter(bufs); err != nil {
+			t.Fatal(err)
+		}
+		covered := make([]bool, elems)
+		for r := 0; r < ranks; r++ {
+			lo, hi := OwnedChunk(elems, ranks, r)
+			for i := lo; i < hi; i++ {
+				if !approxEq(bufs[r][i], want[i]) {
+					t.Fatalf("ranks=%d rank=%d[%d]: got %v want %v", ranks, r, i, bufs[r][i], want[i])
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("ranks=%d: element %d owned by no rank", ranks, i)
+			}
+		}
+	}
+}
+
+func TestAllGatherFromOwnership(t *testing.T) {
+	// Seed each rank's owned chunk with distinct values, zero elsewhere;
+	// after all-gather every rank must hold the assembled buffer.
+	const ranks, elems = 4, 21
+	bufs := make([][]float32, ranks)
+	full := make([]float32, elems)
+	for r := 0; r < ranks; r++ {
+		bufs[r] = make([]float32, elems)
+		lo, hi := OwnedChunk(elems, ranks, r)
+		for i := lo; i < hi; i++ {
+			v := float32(r*100 + i)
+			bufs[r][i] = v
+			full[i] = v
+		}
+	}
+	if err := RingAllGather(bufs); err != nil {
+		t.Fatal(err)
+	}
+	for r := range bufs {
+		for i := range bufs[r] {
+			if bufs[r][i] != full[i] {
+				t.Fatalf("rank %d[%d] = %v, want %v", r, i, bufs[r][i], full[i])
+			}
+		}
+	}
+}
+
+func TestNewReferenceErrors(t *testing.T) {
+	if err := RingReduceScatter(nil); err == nil {
+		t.Error("empty RS should error")
+	}
+	if err := RingAllGather(nil); err == nil {
+		t.Error("empty AG should error")
+	}
+	if err := RingReduceScatter([][]float32{{1}, {1, 2}}); err == nil {
+		t.Error("ragged RS should error")
+	}
+	if err := RingAllGather([][]float32{{1}, {1, 2}}); err == nil {
+		t.Error("ragged AG should error")
+	}
+}

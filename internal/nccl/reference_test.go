@@ -1,0 +1,179 @@
+package nccl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBufs(rng *rand.Rand, ranks, elems int) [][]float32 {
+	bufs := make([][]float32, ranks)
+	for r := range bufs {
+		bufs[r] = make([]float32, elems)
+		for i := range bufs[r] {
+			bufs[r][i] = float32(rng.NormFloat64())
+		}
+	}
+	return bufs
+}
+
+func naiveSum(bufs [][]float32) []float32 {
+	sum := make([]float32, len(bufs[0]))
+	for _, b := range bufs {
+		for i, v := range b {
+			sum[i] += v
+		}
+	}
+	return sum
+}
+
+func approxEq(a, b float32) bool {
+	return math.Abs(float64(a-b)) <= 1e-4*(1+math.Abs(float64(b)))
+}
+
+func TestRingAllReduceMatchesNaiveSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ranks := range []int{1, 2, 3, 4, 5, 8} {
+		for _, elems := range []int{1, 7, 64, 1000} {
+			bufs := randBufs(rng, ranks, elems)
+			want := naiveSum(bufs)
+			if err := RingAllReduce(bufs); err != nil {
+				t.Fatalf("ranks=%d elems=%d: %v", ranks, elems, err)
+			}
+			for r := range bufs {
+				for i := range bufs[r] {
+					if !approxEq(bufs[r][i], want[i]) {
+						t.Fatalf("ranks=%d elems=%d rank=%d[%d]: got %v want %v",
+							ranks, elems, r, i, bufs[r][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRingAllReduceFewerElemsThanRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bufs := randBufs(rng, 8, 3) // more ranks than elements: some chunks empty
+	want := naiveSum(bufs)
+	if err := RingAllReduce(bufs); err != nil {
+		t.Fatal(err)
+	}
+	for r := range bufs {
+		for i := range bufs[r] {
+			if !approxEq(bufs[r][i], want[i]) {
+				t.Fatalf("rank %d[%d]: got %v want %v", r, i, bufs[r][i], want[i])
+			}
+		}
+	}
+}
+
+// Property: all-reduce leaves every rank with an identical buffer equal to
+// the elementwise sum, for arbitrary rank/element counts.
+func TestRingAllReduceProperty(t *testing.T) {
+	f := func(seed int64, nr, ne uint8) bool {
+		ranks := int(nr%8) + 1
+		elems := int(ne%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		bufs := randBufs(rng, ranks, elems)
+		want := naiveSum(bufs)
+		if err := RingAllReduce(bufs); err != nil {
+			return false
+		}
+		for r := range bufs {
+			for i := range bufs[r] {
+				if !approxEq(bufs[r][i], want[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for root := 0; root < 4; root++ {
+		bufs := randBufs(rng, 4, 16)
+		want := append([]float32(nil), bufs[root]...)
+		if err := RingBroadcast(bufs, root); err != nil {
+			t.Fatal(err)
+		}
+		for r := range bufs {
+			for i := range bufs[r] {
+				if bufs[r][i] != want[i] {
+					t.Fatalf("root=%d rank=%d[%d]: got %v want %v", root, r, i, bufs[r][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRingReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for root := 0; root < 5; root++ {
+		bufs := randBufs(rng, 5, 33)
+		want := naiveSum(bufs)
+		if err := RingReduce(bufs, root); err != nil {
+			t.Fatal(err)
+		}
+		for i := range bufs[root] {
+			if !approxEq(bufs[root][i], want[i]) {
+				t.Fatalf("root=%d [%d]: got %v want %v", root, i, bufs[root][i], want[i])
+			}
+		}
+	}
+}
+
+func TestReferenceErrors(t *testing.T) {
+	if err := RingAllReduce(nil); err == nil {
+		t.Error("empty ranks should error")
+	}
+	if err := RingAllReduce([][]float32{{1}, {1, 2}}); err == nil {
+		t.Error("ragged buffers should error")
+	}
+	if err := RingBroadcast([][]float32{{1}}, 5); err == nil {
+		t.Error("bad root should error")
+	}
+	if err := RingReduce([][]float32{{1}}, -1); err == nil {
+		t.Error("bad root should error")
+	}
+	if err := RingBroadcast([][]float32{{1}, {1, 2}}, 0); err == nil {
+		t.Error("ragged broadcast should error")
+	}
+	if err := RingReduce([][]float32{{1}, {1, 2}}, 0); err == nil {
+		t.Error("ragged reduce should error")
+	}
+	// Single-rank collectives are no-ops.
+	b := [][]float32{{1, 2, 3}}
+	if err := RingAllReduce(b); err != nil || b[0][1] != 2 {
+		t.Error("single-rank allreduce should be a no-op")
+	}
+}
+
+func TestChunkBoundsPartition(t *testing.T) {
+	for n := 0; n < 40; n++ {
+		for size := 1; size < 9; size++ {
+			prev := 0
+			total := 0
+			for i := 0; i < size; i++ {
+				lo, hi := chunkBounds(n, size, i)
+				if lo != prev {
+					t.Fatalf("n=%d size=%d chunk %d: lo=%d, want %d", n, size, i, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d size=%d chunk %d: hi<lo", n, size, i)
+				}
+				total += hi - lo
+				prev = hi
+			}
+			if total != n {
+				t.Fatalf("n=%d size=%d: chunks cover %d", n, size, total)
+			}
+		}
+	}
+}

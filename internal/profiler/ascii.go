@@ -1,0 +1,110 @@
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderASCII draws the retained intervals of the [from, to) window as a
+// terminal Gantt chart (the paper's Figure 1 in ASCII): one row per track,
+// one column per time slice, the dominant stage of each slice picked as
+// the glyph. Width is the number of columns (minimum 10).
+func (p *Profile) RenderASCII(from, to time.Duration, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if to <= from {
+		return "(empty window)\n"
+	}
+	glyph := map[Stage]byte{
+		StageFP:       'F',
+		StageBP:       'B',
+		StageWU:       'W',
+		StageDataLoad: 'D',
+		StageOther:    'o',
+	}
+
+	// Collect per-track slice occupancy.
+	type cell map[Stage]time.Duration
+	rows := map[string][]cell{}
+	slice := (to - from) / time.Duration(width)
+	if slice <= 0 {
+		slice = 1
+	}
+	for _, iv := range p.intervals {
+		if iv.End <= from || iv.Start >= to {
+			continue
+		}
+		r, ok := rows[iv.Track]
+		if !ok {
+			r = make([]cell, width)
+			for i := range r {
+				r[i] = cell{}
+			}
+			rows[iv.Track] = r
+		}
+		start, end := iv.Start, iv.End
+		if start < from {
+			start = from
+		}
+		if end > to {
+			end = to
+		}
+		for c := int((start - from) / slice); c < width; c++ {
+			cs := from + time.Duration(c)*slice
+			ce := cs + slice
+			if cs >= end {
+				break
+			}
+			lo, hi := start, end
+			if cs > lo {
+				lo = cs
+			}
+			if ce < hi {
+				hi = ce
+			}
+			if hi > lo {
+				rows[iv.Track][c][iv.Stage] += hi - lo
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return "(no activity in window)\n"
+	}
+
+	tracks := make([]string, 0, len(rows))
+	for tname := range rows {
+		tracks = append(tracks, tname)
+	}
+	sort.Strings(tracks)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %v .. %v (one column = %v)\n", from, to, slice)
+	for _, tname := range tracks {
+		fmt.Fprintf(&b, "%-14s|", tname)
+		for _, c := range rows[tname] {
+			var best Stage
+			var bestDur time.Duration
+			occupied := time.Duration(0)
+			for s, d := range c {
+				occupied += d
+				if d > bestDur {
+					best, bestDur = s, d
+				}
+			}
+			switch {
+			case occupied == 0:
+				b.WriteByte(' ')
+			case occupied < slice/4:
+				b.WriteByte('.')
+			default:
+				b.WriteByte(glyph[best])
+			}
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("legend: F=forward B=backward W=weight-update D=data o=other .=sparse\n")
+	return b.String()
+}

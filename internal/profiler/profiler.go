@@ -1,0 +1,330 @@
+// Package profiler is the simulator's nvprof analog: it accumulates kernel,
+// CUDA-API, and transfer statistics, per-training-stage wall time, and
+// (optionally) detailed intervals that can be exported as a Chrome trace.
+//
+// Two granularities are supported. Aggregate mode (the default) keeps only
+// counters — cheap enough to profile hundreds of simulated epochs. Detail
+// mode additionally retains individual intervals, bounded by a cap, for
+// timeline rendering (the paper's Figure 1).
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stage labels the phase of DNN training an activity belongs to, following
+// the paper's decomposition.
+type Stage int
+
+// Training stages.
+const (
+	StageOther Stage = iota
+	StageFP
+	StageBP
+	StageWU
+	StageDataLoad
+)
+
+// String names the stage as the paper does.
+func (s Stage) String() string {
+	switch s {
+	case StageFP:
+		return "FP"
+	case StageBP:
+		return "BP"
+	case StageWU:
+		return "WU"
+	case StageDataLoad:
+		return "DataLoad"
+	case StageOther:
+		return "Other"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// Kind classifies a recorded activity.
+type Kind int
+
+// Activity kinds.
+const (
+	KindKernel Kind = iota
+	KindAPI
+	KindTransfer
+	KindMarker
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindKernel:
+		return "kernel"
+	case KindAPI:
+		return "api"
+	case KindTransfer:
+		return "transfer"
+	case KindMarker:
+		return "marker"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Interval is one recorded activity on a track (a GPU queue, a host thread,
+// a link direction).
+type Interval struct {
+	Kind  Kind
+	Name  string
+	Stage Stage
+	Track string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration returns the interval's extent.
+func (iv Interval) Duration() time.Duration { return iv.End - iv.Start }
+
+// Stat aggregates calls of one name.
+type Stat struct {
+	Calls int64
+	Total time.Duration
+}
+
+// Mean returns the average duration per call.
+func (s Stat) Mean() time.Duration {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Calls)
+}
+
+// Profile accumulates statistics for one run.
+type Profile struct {
+	api       map[string]*Stat
+	kernels   map[string]*Stat
+	transfers map[string]*Stat
+	stageBusy map[Stage]time.Duration // summed busy time attributed to each stage
+	stageWall map[Stage]time.Duration // wall-clock windows set by the trainer
+
+	detail    bool
+	maxDetail int
+	intervals []Interval
+	dropped   int64
+}
+
+// New returns an aggregate-only profile.
+func New() *Profile {
+	return &Profile{
+		api:       make(map[string]*Stat),
+		kernels:   make(map[string]*Stat),
+		transfers: make(map[string]*Stat),
+		stageBusy: make(map[Stage]time.Duration),
+		stageWall: make(map[Stage]time.Duration),
+	}
+}
+
+// NewDetailed returns a profile that also retains up to maxIntervals
+// individual intervals (further intervals still feed the aggregates).
+func NewDetailed(maxIntervals int) *Profile {
+	p := New()
+	p.detail = true
+	p.maxDetail = maxIntervals
+	return p
+}
+
+// Record adds one activity.
+func (p *Profile) Record(iv Interval) {
+	var m map[string]*Stat
+	switch iv.Kind {
+	case KindKernel:
+		m = p.kernels
+	case KindAPI:
+		m = p.api
+	case KindTransfer:
+		m = p.transfers
+	default:
+		m = nil
+	}
+	if m != nil {
+		st := m[iv.Name]
+		if st == nil {
+			st = &Stat{}
+			m[iv.Name] = st
+		}
+		st.Calls++
+		st.Total += iv.Duration()
+	}
+	p.stageBusy[iv.Stage] += iv.Duration()
+	if p.detail {
+		if len(p.intervals) < p.maxDetail {
+			p.intervals = append(p.intervals, iv)
+		} else {
+			p.dropped++
+		}
+	}
+}
+
+// AddStageWall accumulates wall-clock time attributed to a stage window.
+// The trainer calls this with per-iteration stage spans.
+func (p *Profile) AddStageWall(s Stage, d time.Duration) {
+	p.stageWall[s] += d
+}
+
+// StageWall returns the accumulated wall time of a stage.
+func (p *Profile) StageWall(s Stage) time.Duration { return p.stageWall[s] }
+
+// StageBusy returns the summed busy time attributed to a stage across all
+// recorded activities.
+func (p *Profile) StageBusy(s Stage) time.Duration { return p.stageBusy[s] }
+
+// API returns the aggregate for one API name (zero Stat if absent).
+func (p *Profile) API(name string) Stat {
+	if s := p.api[name]; s != nil {
+		return *s
+	}
+	return Stat{}
+}
+
+// Kernel returns the aggregate for one kernel name (zero Stat if absent).
+func (p *Profile) Kernel(name string) Stat {
+	if s := p.kernels[name]; s != nil {
+		return *s
+	}
+	return Stat{}
+}
+
+// Transfer returns the aggregate for one transfer name (zero Stat if absent).
+func (p *Profile) Transfer(name string) Stat {
+	if s := p.transfers[name]; s != nil {
+		return *s
+	}
+	return Stat{}
+}
+
+// APITotal returns the summed duration of all API calls.
+func (p *Profile) APITotal() time.Duration {
+	var d time.Duration
+	for _, s := range p.api {
+		d += s.Total
+	}
+	return d
+}
+
+// APINames returns recorded API names sorted by descending total time.
+func (p *Profile) APINames() []string {
+	names := make([]string, 0, len(p.api))
+	for n := range p.api {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := p.api[names[i]], p.api[names[j]]
+		if a.Total != b.Total {
+			return a.Total > b.Total
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// KernelNames returns recorded kernel names sorted by descending total time.
+func (p *Profile) KernelNames() []string {
+	names := make([]string, 0, len(p.kernels))
+	for n := range p.kernels {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := p.kernels[names[i]], p.kernels[names[j]]
+		if a.Total != b.Total {
+			return a.Total > b.Total
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Intervals returns the retained detailed intervals (detail mode only).
+func (p *Profile) Intervals() []Interval {
+	out := make([]Interval, len(p.intervals))
+	copy(out, p.intervals)
+	return out
+}
+
+// Dropped reports how many intervals exceeded the detail cap.
+func (p *Profile) Dropped() int64 { return p.dropped }
+
+// Scale multiplies every aggregate by f. The trainer uses this to
+// extrapolate a steady-state iteration window to a full epoch: counters are
+// linear in iteration count, so scaling is exact for the steady portion.
+// Detailed intervals are left untouched (they describe the simulated
+// window, not the extrapolation).
+func (p *Profile) Scale(f float64) {
+	scaleMap := func(m map[string]*Stat) {
+		for _, s := range m {
+			s.Calls = int64(float64(s.Calls)*f + 0.5)
+			s.Total = time.Duration(float64(s.Total) * f)
+		}
+	}
+	scaleMap(p.api)
+	scaleMap(p.kernels)
+	scaleMap(p.transfers)
+	for k, v := range p.stageBusy {
+		p.stageBusy[k] = time.Duration(float64(v) * f)
+	}
+	for k, v := range p.stageWall {
+		p.stageWall[k] = time.Duration(float64(v) * f)
+	}
+}
+
+// Merge adds other's aggregates into p. Detailed intervals are appended up
+// to p's cap.
+func (p *Profile) Merge(other *Profile) {
+	mergeMap := func(dst, src map[string]*Stat) {
+		for n, s := range src {
+			d := dst[n]
+			if d == nil {
+				d = &Stat{}
+				dst[n] = d
+			}
+			d.Calls += s.Calls
+			d.Total += s.Total
+		}
+	}
+	mergeMap(p.api, other.api)
+	mergeMap(p.kernels, other.kernels)
+	mergeMap(p.transfers, other.transfers)
+	for k, v := range other.stageBusy {
+		p.stageBusy[k] += v
+	}
+	for k, v := range other.stageWall {
+		p.stageWall[k] += v
+	}
+	if p.detail {
+		for _, iv := range other.intervals {
+			if len(p.intervals) < p.maxDetail {
+				p.intervals = append(p.intervals, iv)
+			} else {
+				p.dropped++
+			}
+		}
+	}
+}
+
+// Summary renders an nvprof-style text summary: top APIs and kernels with
+// call counts and total times.
+func (p *Profile) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "API calls:\n")
+	for _, n := range p.APINames() {
+		s := p.api[n]
+		fmt.Fprintf(&b, "  %-28s calls=%-10d total=%-14v avg=%v\n", n, s.Calls, s.Total, s.Mean())
+	}
+	fmt.Fprintf(&b, "Kernels:\n")
+	for _, n := range p.KernelNames() {
+		s := p.kernels[n]
+		fmt.Fprintf(&b, "  %-28s calls=%-10d total=%-14v avg=%v\n", n, s.Calls, s.Total, s.Mean())
+	}
+	fmt.Fprintf(&b, "Stage wall time: FP=%v BP=%v WU=%v\n",
+		p.stageWall[StageFP], p.stageWall[StageBP], p.stageWall[StageWU])
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "A", "Bee", "C")
+	tab.AddRow("1", "2", "3")
+	tab.AddRow("longer", "x")
+	tab.AddNote("a note %d", 7)
+	s := tab.String()
+	if !strings.HasPrefix(s, "Title\n") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	for _, want := range []string{"A", "Bee", "longer", "note: a note 7", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title, header, separator, 2 rows, note.
+	if len(lines) != 6 {
+		t.Errorf("lines = %d:\n%s", len(lines), s)
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tab := NewTable("", "A", "B")
+	tab.AddRow("only")
+	rows := tab.Rows()
+	if len(rows[0]) != 2 || rows[0][1] != "" {
+		t.Errorf("row not padded: %v", rows[0])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := NewTable("t", "x", "y")
+	tab.AddRow("1", "a,b")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "x,y") || !strings.Contains(got, `"a,b"`) {
+		t.Errorf("csv = %q", got)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Error("F formatting wrong")
+	}
+}
+
+func TestRowsIsCopy(t *testing.T) {
+	tab := NewTable("", "A")
+	tab.AddRow("v")
+	rows := tab.Rows()
+	rows[0][0] = "mutated"
+	if tab.Rows()[0][0] != "v" {
+		t.Error("Rows should return a copy")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tab := NewTable("Caption", "A", "B")
+	tab.AddRow("1", "2")
+	tab.AddNote("a note")
+	var buf bytes.Buffer
+	if err := tab.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"**Caption**", "| A | B |", "|---|---|", "| 1 | 2 |", "*a note*"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("markdown missing %q:\n%s", want, s)
+		}
+	}
+}

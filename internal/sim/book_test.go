@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBookSynchronousFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x")
+	s1, e1 := r.Book(0, 10*time.Millisecond)
+	if s1 != 0 || e1 != 10*time.Millisecond {
+		t.Errorf("first booking [%v,%v]", s1, e1)
+	}
+	// Second booking queues even though its ready time is earlier.
+	s2, e2 := r.Book(0, 5*time.Millisecond)
+	if s2 != e1 || e2 != e1+5*time.Millisecond {
+		t.Errorf("second booking [%v,%v], want [%v,%v]", s2, e2, e1, e1+5*time.Millisecond)
+	}
+	// A booking ready far in the future leaves a gap.
+	s3, _ := r.Book(time.Second, time.Millisecond)
+	if s3 != time.Second {
+		t.Errorf("future booking start = %v, want 1s", s3)
+	}
+}
+
+func TestBookMatchesServe(t *testing.T) {
+	// Book and Serve must produce identical schedules for the same
+	// request sequence.
+	e1 := NewEngine()
+	ra := NewResource(e1, "a")
+	var served []time.Duration
+	for i := 0; i < 5; i++ {
+		ra.Serve(time.Duration(i+1)*time.Millisecond, func(_, end time.Duration) {
+			served = append(served, end)
+		})
+	}
+	e1.Run()
+
+	e2 := NewEngine()
+	rb := NewResource(e2, "b")
+	var booked []time.Duration
+	for i := 0; i < 5; i++ {
+		_, end := rb.Book(0, time.Duration(i+1)*time.Millisecond)
+		booked = append(booked, end)
+	}
+	if len(served) != len(booked) {
+		t.Fatal("length mismatch")
+	}
+	for i := range served {
+		if served[i] != booked[i] {
+			t.Errorf("request %d: served %v != booked %v", i, served[i], booked[i])
+		}
+	}
+}
+
+// Properties of Book: end = start + dur; start >= ready; bookings never
+// overlap and preserve issue order.
+func TestBookProperties(t *testing.T) {
+	f := func(reqs []struct {
+		Ready uint16
+		Dur   uint16
+	}) bool {
+		e := NewEngine()
+		r := NewResource(e, "p")
+		var prevEnd time.Duration
+		for _, q := range reqs {
+			ready := time.Duration(q.Ready) * time.Microsecond
+			dur := time.Duration(q.Dur) * time.Microsecond
+			s, end := r.Book(ready, dur)
+			if end-s != dur {
+				return false
+			}
+			if s < ready || s < prevEnd {
+				return false
+			}
+			prevEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBookAccountsBusyTime(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x")
+	r.Book(0, 3*time.Millisecond)
+	r.Book(0, 4*time.Millisecond)
+	if r.BusyTime() != 7*time.Millisecond {
+		t.Errorf("busy = %v", r.BusyTime())
+	}
+	if r.Requests() != 2 {
+		t.Errorf("requests = %d", r.Requests())
+	}
+}

@@ -1,0 +1,121 @@
+// Package sim implements the discrete-event simulation kernel the whole
+// system model runs on: a virtual clock, an event calendar, FIFO resources
+// for modeling contention, and synchronization helpers.
+//
+// The kernel is deterministic: events scheduled for the same instant fire in
+// scheduling order. All stochastic behaviour (run-to-run jitter used to
+// reproduce the paper's error bars) comes from an explicitly seeded Jitter
+// source, so any experiment can be replayed exactly.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is the discrete-event simulator core. The zero value is not ready
+// to use; create one with NewEngine.
+type Engine struct {
+	now    time.Duration
+	queue  eventHeap
+	seq    int64
+	nsteps int64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Steps returns how many events have been executed so far (useful in tests
+// and as a runaway guard).
+func (e *Engine) Steps() int64 { return e.nsteps }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (fire as soon as possible, after already-pending events at the
+// current instant).
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Scheduling in the past panics:
+// it would silently corrupt causality, and no model code should ever do it.
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.nsteps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the calendar is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t (even if no event lands there).
+func (e *Engine) RunUntil(t time.Duration) {
+	for e.queue.Len() > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Pending returns the number of events still on the calendar.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// event is a single calendar entry. seq breaks ties so simultaneous events
+// fire in scheduling order, keeping the simulation deterministic.
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineTieBreaksBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.Schedule(time.Millisecond, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(2*time.Millisecond, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("expected 2 events, got %d", len(fired))
+	}
+	if fired[0] != time.Millisecond || fired[1] != 3*time.Millisecond {
+		t.Errorf("fire times = %v, want [1ms 3ms]", fired)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(-time.Second, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Error("negative-delay event never ran")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock moved to %v for clamped event", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.At(time.Millisecond, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	e.Schedule(time.Millisecond, func() { fired++ })
+	e.Schedule(5*time.Millisecond, func() { fired++ })
+	e.RunUntil(2 * time.Millisecond)
+	if fired != 1 {
+		t.Errorf("fired = %d events by 2ms, want 1", fired)
+	}
+	if e.Now() != 2*time.Millisecond {
+		t.Errorf("clock = %v, want exactly 2ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d after Run, want 2", fired)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty calendar should return false")
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.Run()
+	if e.Steps() != 5 {
+		t.Errorf("Steps = %d, want 5", e.Steps())
+	}
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter is a seeded source of small multiplicative noise. The paper reports
+// each configuration as the mean of 5 runs with a standard deviation bar;
+// the simulator reproduces run-to-run variance with this explicit,
+// replayable source rather than hidden global randomness.
+type Jitter struct {
+	rng *rand.Rand
+	// rel is the relative standard deviation applied by Scale, e.g. 0.01
+	// for ~1% noise.
+	rel float64
+}
+
+// NewJitter returns a jitter source with the given seed and relative
+// standard deviation. rel <= 0 disables noise entirely (Scale returns its
+// input), which keeps unit tests exact.
+func NewJitter(seed int64, rel float64) *Jitter {
+	return &Jitter{rng: rand.New(rand.NewSource(seed)), rel: rel}
+}
+
+// Scale perturbs d by a normally-distributed factor (1 + N(0, rel)),
+// clamped to stay positive. With rel <= 0 it is the identity.
+func (j *Jitter) Scale(d time.Duration) time.Duration {
+	if j == nil || j.rel <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 + j.rng.NormFloat64()*j.rel
+	if f < 0.5 {
+		f = 0.5
+	}
+	return time.Duration(float64(d) * f)
+}
+
+// Factor returns one perturbation factor (1 + N(0, rel)), clamped positive.
+func (j *Jitter) Factor() float64 {
+	if j == nil || j.rel <= 0 {
+		return 1
+	}
+	f := 1 + j.rng.NormFloat64()*j.rel
+	if f < 0.5 {
+		f = 0.5
+	}
+	return f
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResourceSerializesFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "link")
+	type span struct{ start, end time.Duration }
+	var spans []span
+	for i := 0; i < 3; i++ {
+		r.Serve(10*time.Millisecond, func(s, d time.Duration) {
+			spans = append(spans, span{s, d})
+		})
+	}
+	e.Run()
+	if len(spans) != 3 {
+		t.Fatalf("served %d requests, want 3", len(spans))
+	}
+	for i, sp := range spans {
+		wantStart := time.Duration(i) * 10 * time.Millisecond
+		if sp.start != wantStart || sp.end != wantStart+10*time.Millisecond {
+			t.Errorf("request %d span = [%v,%v], want [%v,%v]",
+				i, sp.start, sp.end, wantStart, wantStart+10*time.Millisecond)
+		}
+	}
+}
+
+func TestResourceServeAfterWaitsForReadiness(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "link")
+	var start time.Duration
+	r.ServeAfter(50*time.Millisecond, 10*time.Millisecond, func(s, _ time.Duration) { start = s })
+	e.Run()
+	if start != 50*time.Millisecond {
+		t.Errorf("start = %v, want 50ms (waited for readiness)", start)
+	}
+}
+
+func TestResourceServeAfterQueuesBehindEarlierWork(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "link")
+	r.Serve(100*time.Millisecond, nil)
+	var start time.Duration
+	r.ServeAfter(50*time.Millisecond, 10*time.Millisecond, func(s, _ time.Duration) { start = s })
+	e.Run()
+	if start != 100*time.Millisecond {
+		t.Errorf("start = %v, want 100ms (queued behind busy resource)", start)
+	}
+}
+
+func TestResourceAccounting(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "pipe")
+	r.Serve(10*time.Millisecond, nil)
+	r.Serve(30*time.Millisecond, nil)
+	e.Run()
+	if got := r.BusyTime(); got != 40*time.Millisecond {
+		t.Errorf("BusyTime = %v, want 40ms", got)
+	}
+	if got := r.Requests(); got != 2 {
+		t.Errorf("Requests = %d, want 2", got)
+	}
+	if got := r.Utilization(80 * time.Millisecond); got != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+	if got := r.Utilization(0); got != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", got)
+	}
+}
+
+func TestResourceFreeAt(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "pipe")
+	if r.FreeAt() != 0 {
+		t.Errorf("idle FreeAt = %v, want 0", r.FreeAt())
+	}
+	r.Serve(25*time.Millisecond, nil)
+	if r.FreeAt() != 25*time.Millisecond {
+		t.Errorf("FreeAt = %v, want 25ms", r.FreeAt())
+	}
+	e.Run()
+	if r.FreeAt() != 25*time.Millisecond {
+		t.Errorf("FreeAt after run = %v, want 25ms (== now)", r.FreeAt())
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	fired := 0
+	b := NewBarrier(3, func() { fired++ })
+	b.Arrive()
+	b.Arrive()
+	if fired != 0 {
+		t.Fatal("barrier fired early")
+	}
+	if b.Remaining() != 1 {
+		t.Errorf("Remaining = %d, want 1", b.Remaining())
+	}
+	b.Arrive()
+	if fired != 1 {
+		t.Fatal("barrier did not fire on last arrival")
+	}
+	b.Arrive() // extra arrivals are harmless
+	if fired != 1 {
+		t.Fatal("barrier fired more than once")
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", b.Remaining())
+	}
+}
+
+func TestJitterDeterminism(t *testing.T) {
+	a := NewJitter(42, 0.05)
+	b := NewJitter(42, 0.05)
+	for i := 0; i < 100; i++ {
+		if a.Factor() != b.Factor() {
+			t.Fatal("same seed must replay the same factors")
+		}
+	}
+}
+
+func TestJitterDisabled(t *testing.T) {
+	j := NewJitter(1, 0)
+	if got := j.Scale(time.Second); got != time.Second {
+		t.Errorf("disabled jitter changed input: %v", got)
+	}
+	var nilJ *Jitter
+	if got := nilJ.Scale(time.Second); got != time.Second {
+		t.Errorf("nil jitter changed input: %v", got)
+	}
+	if nilJ.Factor() != 1 {
+		t.Error("nil jitter factor should be 1")
+	}
+}
+
+func TestJitterStaysPositive(t *testing.T) {
+	j := NewJitter(7, 3.0) // absurdly large rel to hit the clamp
+	for i := 0; i < 1000; i++ {
+		if d := j.Scale(time.Second); d <= 0 {
+			t.Fatalf("jitter produced non-positive duration %v", d)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package stats provides the measurement arithmetic the paper's figures
+// use: repeated-run summaries (mean ± standard deviation over 5
+// repetitions) and speedup ratios.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Sample summarizes repeated measurements.
+type Sample struct {
+	Mean time.Duration
+	Std  time.Duration
+	N    int
+}
+
+// String renders "1.234s ±0.012s".
+func (s Sample) String() string {
+	return fmt.Sprintf("%v ±%v", s.Mean.Round(time.Millisecond), s.Std.Round(time.Millisecond))
+}
+
+// Summarize computes mean and (population) standard deviation.
+func Summarize(runs []time.Duration) Sample {
+	n := len(runs)
+	if n == 0 {
+		return Sample{}
+	}
+	var sum float64
+	for _, r := range runs {
+		sum += float64(r)
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, r := range runs {
+		d := float64(r) - mean
+		ss += d * d
+	}
+	return Sample{
+		Mean: time.Duration(mean),
+		Std:  time.Duration(math.Sqrt(ss / float64(n))),
+		N:    n,
+	}
+}
+
+// Repetitions expands one deterministic measurement into n jittered
+// repetitions, reproducing run-to-run variance from an explicit seed. The
+// first repetition is the exact value so the mean stays anchored.
+func Repetitions(exact time.Duration, j *sim.Jitter, n int) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]time.Duration, n)
+	out[0] = exact
+	for i := 1; i < n; i++ {
+		out[i] = j.Scale(exact)
+	}
+	return out
+}
+
+// Speedup returns base/x (how many times faster x is than base).
+func Speedup(base, x time.Duration) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return float64(base) / float64(x)
+}
+
+// Percent returns 100*part/whole.
+func Percent(part, whole time.Duration) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]time.Duration{time.Second, 3 * time.Second})
+	if s.Mean != 2*time.Second {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.Std != time.Second {
+		t.Errorf("std = %v", s.Std)
+	}
+	if s.N != 2 {
+		t.Errorf("n = %d", s.N)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Mean != 0 || s.Std != 0 || s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeConstant(t *testing.T) {
+	s := Summarize([]time.Duration{5, 5, 5, 5})
+	if s.Std != 0 {
+		t.Errorf("constant series std = %v", s.Std)
+	}
+}
+
+func TestRepetitionsAnchoredAndDeterministic(t *testing.T) {
+	j1 := sim.NewJitter(3, 0.05)
+	j2 := sim.NewJitter(3, 0.05)
+	a := Repetitions(time.Second, j1, 5)
+	b := Repetitions(time.Second, j2, 5)
+	if len(a) != 5 {
+		t.Fatalf("len = %d", len(a))
+	}
+	if a[0] != time.Second {
+		t.Error("first repetition should be the exact value")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("same seed must reproduce repetitions")
+		}
+	}
+	if Repetitions(time.Second, j1, 0) != nil {
+		t.Error("n<=0 should return nil")
+	}
+}
+
+func TestSpeedupAndPercent(t *testing.T) {
+	if got := Speedup(4*time.Second, 2*time.Second); got != 2 {
+		t.Errorf("speedup = %v", got)
+	}
+	if got := Speedup(time.Second, 0); got != 0 {
+		t.Errorf("zero divisor speedup = %v", got)
+	}
+	if got := Percent(time.Second, 4*time.Second); got != 25 {
+		t.Errorf("percent = %v", got)
+	}
+	if got := Percent(time.Second, 0); got != 0 {
+		t.Errorf("zero whole percent = %v", got)
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	s := Sample{Mean: 1234 * time.Millisecond, Std: 12 * time.Millisecond, N: 5}
+	if got := s.String(); got != "1.234s ±12ms" {
+		t.Errorf("string = %q", got)
+	}
+}

@@ -1,0 +1,394 @@
+// Package train simulates data-parallel synchronous-SGD training on the
+// modeled DGX-1, reproducing the paper's measurement methodology: per-GPU
+// executors enqueue the FP and BP kernel plans, per-layer gradients are
+// pushed through the kvstore as backpropagation produces them (overlapping
+// BP with WU as MXNet does), the root GPU updates weights and the kvstore
+// distributes them, and a synchronous barrier separates iterations.
+//
+// A handful of iterations are simulated exactly and the steady-state
+// iteration is extrapolated to the full epoch (iterations are identical in
+// the steady state, so the extrapolation is exact up to the warmup edge).
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/data"
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+	"repro/internal/interconnect"
+	"repro/internal/kvstore"
+	"repro/internal/memmodel"
+	"repro/internal/models"
+	"repro/internal/nccl"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Config describes one training run (one epoch, as the paper measures).
+type Config struct {
+	// Model is the network to train (from the models zoo).
+	Model models.Description
+	// GPUs is the device count (1..8; devices 0..GPUs-1 are used, as
+	// MXNet's default device assignment does).
+	GPUs int
+	// Batch is the per-GPU mini-batch size.
+	Batch int
+	// Method selects the communication backend (p2p or nccl).
+	Method kvstore.Method
+	// Images is the epoch's dataset size (already scaled for weak
+	// scaling). Zero means the paper's 256K.
+	Images int64
+	// TensorCores lowers conv/GEMM kernels to the tensor-core pipeline.
+	TensorCores bool
+	// SimIters is how many iterations to simulate exactly before
+	// extrapolating (>= 2; default 4).
+	SimIters int
+	// DetailIntervals retains that many profiler intervals for timeline
+	// export (0 = aggregates only).
+	DetailIntervals int
+	// SkipMemoryCheck disables the OOM gate (used to probe hypothetical
+	// configurations).
+	SkipMemoryCheck bool
+	// RoutePolicy overrides peer-copy routing (default staged NVLink).
+	RoutePolicy topology.RoutePolicy
+	// Async enables the asynchronous-SGD extension: no inter-GPU barrier;
+	// each GPU exchanges with the server independently.
+	Async bool
+	// Topology overrides the machine (default: the DGX-1). Ablations use
+	// topology.DGX1Scaled / DGX1PCIeOnly to explore interconnect variants.
+	Topology *topology.Topology
+	// GPUSpec overrides the device model (default: the V100).
+	GPUSpec *gpu.Spec
+	// Parallelism selects how the network is distributed (default: data
+	// parallelism, the paper's measured configuration).
+	Parallelism Parallelism
+	// MicroBatches splits each mini-batch for the model-parallel pipeline
+	// (default: 4x the stage count).
+	MicroBatches int
+	// BucketBytes fuses consecutive gradient arrays into buckets of at
+	// least this size before exchanging them (0 = per-array exchange, the
+	// paper-era MXNet behaviour). Bucketing amortizes the per-operation
+	// overheads the paper identifies as the small networks' bottleneck.
+	BucketBytes units.Bytes
+	// Devices pins training to specific GPUs (default: 0..GPUs-1, MXNet's
+	// assignment). On the DGX-1's asymmetric topology, placement changes
+	// communication cost; Devices must have exactly GPUs entries.
+	Devices []topology.NodeID
+	// NCCLTree selects NCCL's double-binary-tree algorithm instead of the
+	// rings the paper measured — the later NCCL release's answer to the
+	// small-message latency the paper identified.
+	NCCLTree bool
+	// Checkpointing enables sqrt-N gradient checkpointing: feature-map
+	// memory collapses to ~2*sqrt(n) resident activations at the cost of
+	// one extra forward pass during BP — the algorithm-level memory remedy
+	// the paper's §V-D calls for.
+	Checkpointing bool
+	// Winograd lowers eligible 3x3 convolutions through the Winograd
+	// transform (a cuDNN algorithm choice).
+	Winograd bool
+}
+
+// Parallelism selects a distribution strategy.
+type Parallelism int
+
+// Distribution strategies (paper §I: data parallelism replicates the
+// model and exchanges gradients; model parallelism partitions layers and
+// exchanges activations; the hybrid scheme data-parallelizes the conv body
+// and tensor-parallelizes the FC head).
+const (
+	DataParallel Parallelism = iota
+	ModelParallel
+	HybridOWT
+)
+
+// String names the strategy.
+func (p Parallelism) String() string {
+	switch p {
+	case ModelParallel:
+		return "model-parallel"
+	case HybridOWT:
+		return "hybrid-owt"
+	}
+	return "data-parallel"
+}
+
+// NewConfig returns the paper's default configuration for a model name.
+func NewConfig(model string, gpus, batch int, method kvstore.Method) (Config, error) {
+	d, err := models.ByName(model)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Model:       d,
+		GPUs:        gpus,
+		Batch:       batch,
+		Method:      method,
+		Images:      data.PaperDatasetImages,
+		TensorCores: true,
+	}, nil
+}
+
+func (c *Config) normalize() error {
+	if c.Model.Net == nil {
+		return fmt.Errorf("train: config has no model")
+	}
+	if c.GPUs < 1 {
+		return fmt.Errorf("train: GPU count %d out of range", c.GPUs)
+	}
+	if c.Topology == nil && c.GPUs > 8 {
+		return fmt.Errorf("train: the DGX-1 has 8 GPUs, requested %d", c.GPUs)
+	}
+	if c.Batch <= 0 {
+		return fmt.Errorf("train: bad batch size %d", c.Batch)
+	}
+	if c.Method == "" {
+		c.Method = kvstore.MethodNCCL
+	}
+	if c.Images <= 0 {
+		c.Images = data.PaperDatasetImages
+	}
+	if c.SimIters < 2 {
+		c.SimIters = 4
+	}
+	return nil
+}
+
+// Result is the outcome of one simulated epoch.
+type Result struct {
+	Config     Config
+	Iterations int64
+
+	// EpochTime is the wall time of the epoch (setup + all iterations).
+	EpochTime time.Duration
+	// SetupTime covers backend initialization and the initial model
+	// broadcast.
+	SetupTime time.Duration
+	// SteadyIter is the converged per-iteration time.
+	SteadyIter time.Duration
+
+	// Per-epoch wall-time decomposition (the paper's Figure 4): FPWall and
+	// BPWall are computation; WUWall is the exposed weight-update /
+	// communication tail after BP completes.
+	FPWall, BPWall, WUWall time.Duration
+
+	// Profile holds kernel/API/transfer accounting scaled to the epoch.
+	Profile *profiler.Profile
+	// Memory is the per-GPU usage estimate.
+	Memory memmodel.Estimate
+
+	// Throughput in images per second.
+	Throughput float64
+	// ComputeUtilization is executed FLOPs over peak FLOPs across the
+	// epoch (the paper quotes 18.3% for LeNet).
+	ComputeUtilization float64
+	// SyncPercent is cudaStreamSynchronize blocked time as a share of
+	// epoch time per GPU (Table III).
+	SyncPercent float64
+
+	// GPUComputeBusy is each device's compute-queue busy fraction of the
+	// epoch. The spread quantifies the idle time the paper attributes to
+	// asymmetric links and the GPU0 aggregation role.
+	GPUComputeBusy map[topology.NodeID]float64
+}
+
+// IdleSpread returns the difference between the busiest and least busy
+// GPU's compute fraction — zero on a single GPU, growing with the
+// synchronization and aggregation imbalance.
+func (r *Result) IdleSpread() float64 {
+	var min, max float64
+	first := true
+	for _, f := range r.GPUComputeBusy {
+		if first {
+			min, max = f, f
+			first = false
+			continue
+		}
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	return max - min
+}
+
+// FPBPWall returns the combined computation wall time (as Figure 4 plots).
+func (r *Result) FPBPWall() time.Duration { return r.FPWall + r.BPWall }
+
+// Trainer holds one run's simulation state.
+type Trainer struct {
+	cfg     Config
+	eng     *sim.Engine
+	fab     *interconnect.Fabric
+	rt      *cuda.Runtime
+	prof    *profiler.Profile
+	backend kvstore.Backend
+	devs    []topology.NodeID
+
+	compute map[topology.NodeID]*cuda.Stream
+
+	fwd      []gpu.KernelCost
+	bwd      []dnn.BackwardStep
+	schedule data.Schedule
+	memory   memmodel.Estimate
+}
+
+// New builds a trainer, enforcing the device-memory gate (it returns an
+// error wrapping gpu.ErrOutOfMemory for untrainable configurations, as the
+// paper hit for Inception-v3/ResNet beyond batch 64).
+func New(cfg Config) (*Trainer, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	top := cfg.Topology
+	if top == nil {
+		top = topology.DGX1()
+	}
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+	if n := len(top.GPUs()); cfg.GPUs > n {
+		return nil, fmt.Errorf("train: topology has %d GPUs, requested %d", n, cfg.GPUs)
+	}
+	fab := interconnect.New(eng, top)
+	var prof *profiler.Profile
+	if cfg.DetailIntervals > 0 {
+		prof = profiler.NewDetailed(cfg.DetailIntervals)
+	} else {
+		prof = profiler.New()
+	}
+	devs := cfg.Devices
+	if devs == nil {
+		devs = make([]topology.NodeID, cfg.GPUs)
+		for i := range devs {
+			devs[i] = topology.NodeID(i)
+		}
+	} else {
+		if len(devs) != cfg.GPUs {
+			return nil, fmt.Errorf("train: %d devices pinned for %d GPUs", len(devs), cfg.GPUs)
+		}
+		seen := map[topology.NodeID]bool{}
+		for _, d := range devs {
+			if seen[d] {
+				return nil, fmt.Errorf("train: duplicate device %d", d)
+			}
+			seen[d] = true
+		}
+		devs = append([]topology.NodeID(nil), devs...)
+	}
+	spec := gpu.V100()
+	if cfg.GPUSpec != nil {
+		spec = *cfg.GPUSpec
+	}
+	rt, err := cuda.NewRuntime(fab, spec, devs, cuda.DefaultCosts(), prof)
+	if err != nil {
+		return nil, err
+	}
+	rt.SetRoutePolicy(cfg.RoutePolicy)
+	ncfg := nccl.DefaultConfig()
+	if cfg.NCCLTree {
+		ncfg.Algorithm = nccl.AlgoTree
+	}
+	backend, err := kvstore.NewWithNCCL(cfg.Method, rt, devs, ncfg)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Trainer{
+		cfg:     cfg,
+		eng:     eng,
+		fab:     fab,
+		rt:      rt,
+		prof:    prof,
+		backend: backend,
+		devs:    devs,
+		compute: make(map[topology.NodeID]*cuda.Stream, len(devs)),
+	}
+	for _, d := range devs {
+		t.compute[d] = rt.Stream(d, "train")
+	}
+
+	opts := dnn.PlanOptions{TensorCores: cfg.TensorCores, Winograd: cfg.Winograd}
+	t.fwd = cfg.Model.Net.ForwardPlan(cfg.Batch, opts)
+	t.bwd = cfg.Model.Net.BackwardPlan(cfg.Batch, opts)
+
+	ds := data.ImageNetSubset(cfg.Images)
+	t.schedule, err = data.NewSchedule(ds, cfg.Model.InputShape, cfg.Batch, cfg.GPUs)
+	if err != nil {
+		return nil, err
+	}
+
+	t.memory = memmodel.Compute(cfg.Model.Net, cfg.Batch, cfg.GPUs > 1)
+	if cfg.Checkpointing {
+		t.memory = memmodel.ComputeCheckpointed(cfg.Model.Net, cfg.Batch, cfg.GPUs > 1)
+	}
+	if cfg.Parallelism == ModelParallel {
+		// Each GPU holds only its stage: no replication, no aggregation
+		// premium.
+		t.memory = memmodel.ScaleStages(memmodel.Compute(cfg.Model.Net, cfg.Batch, false), cfg.GPUs)
+	}
+	if !cfg.SkipMemoryCheck {
+		if err := t.allocateMemory(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// allocateMemory reserves the estimated footprint on every device,
+// surfacing OOM exactly where nvidia-smi would show it.
+func (t *Trainer) allocateMemory() error {
+	for _, d := range t.devs {
+		dev := t.rt.Device(d)
+		est := t.memory
+		use := est.Worker()
+		if d == t.backend.Root() {
+			use = est.Root()
+		}
+		if err := dev.Memory.Alloc("training", use+memmodel.DriverReserve); err != nil {
+			return fmt.Errorf("train: %s batch %d on %d GPUs: %w",
+				t.cfg.Model.Name, t.cfg.Batch, t.cfg.GPUs, err)
+		}
+	}
+	return nil
+}
+
+// RunEpochs simulates a training session of n epochs. Setup (framework
+// startup, communicator construction, initial model broadcast) is paid
+// once; each subsequent epoch repeats the steady schedule — the paper's
+// observation that per-epoch stage times are constant, made explicit. The
+// returned Result covers the whole session, with Iterations summed.
+func (t *Trainer) RunEpochs(n int) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("train: epoch count %d out of range", n)
+	}
+	first, err := t.Run()
+	if err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		return first, nil
+	}
+	perEpoch := first.EpochTime - first.SetupTime
+	out := *first
+	out.EpochTime = first.SetupTime + time.Duration(n)*perEpoch
+	out.Iterations = first.Iterations * int64(n)
+	out.FPWall *= time.Duration(n)
+	out.BPWall *= time.Duration(n)
+	out.WUWall *= time.Duration(n)
+	out.Throughput = float64(int64(n)*t.schedule.Images) / out.EpochTime.Seconds()
+	return &out, nil
+}
+
+// Memory returns the per-GPU memory estimate.
+func (t *Trainer) Memory() memmodel.Estimate { return t.memory }
+
+// Schedule returns the epoch's mini-batch plan.
+func (t *Trainer) Schedule() data.Schedule { return t.schedule }
