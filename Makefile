@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples clean
+.PHONY: all build test test-race vet bench serve experiments examples clean
 
 all: build vet test
 
@@ -14,6 +14,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The worker pool and result cache are concurrent code; the race
+# detector gates them (CI runs this).
+test-race:
+	$(GO) test -race ./...
+
+# Run the simulation service (see README "Running the server").
+serve:
+	$(GO) run ./cmd/dgxsimd
 
 # One testing.B benchmark per paper table/figure, plus ablations.
 bench:

@@ -10,11 +10,19 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	"repro/internal/commbench"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/kvstore"
+	"repro/internal/service"
 	"repro/internal/topology"
 	"repro/internal/train"
 	"repro/internal/units"
@@ -305,5 +313,69 @@ func BenchmarkCommMicro(b *testing.B) {
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		epoch(b, "inception-v3", 8, 16, kvstore.MethodNCCL)
+	}
+}
+
+// BenchmarkServiceSweep tracks the serving layer's performance from day
+// one: a 16-configuration /v1/sweep through the full HTTP stack, cold
+// (every cell simulated) vs warm (every cell a cache hit), with 1
+// worker vs NumCPU workers. Warm runs measure pure cache+serialization
+// latency; the cold worker sweep measures the pool's fan-out speedup.
+func BenchmarkServiceSweep(b *testing.B) {
+	sweepBody, err := json.Marshal(service.SweepRequest{
+		Base:    core.Workload{Images: 4096},
+		Models:  []string{"lenet"},
+		GPUs:    []int{1, 2, 4, 8},
+		Batches: []int{16, 32},
+		Methods: []core.Method{core.P2P, core.NCCL},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep := func(b *testing.B, ts *httptest.Server) {
+		b.Helper()
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(sweepBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr service.SweepResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || sr.Count != 16 {
+			b.Fatalf("sweep: status %d, count %d", resp.StatusCode, sr.Count)
+		}
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("cold/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				svc := service.NewServer(service.Config{Workers: workers})
+				ts := httptest.NewServer(svc.Handler())
+				b.StartTimer()
+				sweep(b, ts)
+				b.StopTimer()
+				ts.Close()
+				svc.Close()
+				b.StartTimer()
+			}
+		})
+		b.Run(fmt.Sprintf("warm/workers=%d", workers), func(b *testing.B) {
+			svc := service.NewServer(service.Config{Workers: workers})
+			ts := httptest.NewServer(svc.Handler())
+			defer func() {
+				ts.Close()
+				svc.Close()
+			}()
+			sweep(b, ts) // fill the cache outside the timer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sweep(b, ts)
+			}
+			b.StopTimer()
+			st := svc.CacheStats()
+			b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "cache-hit-ratio")
+		})
 	}
 }

@@ -50,6 +50,11 @@ func main() {
 		ModelParallel:      *mp,
 		MicroBatches:       *micro,
 	}
+	// The service (cmd/dgxsimd) runs the same check, so the CLI and the
+	// API reject a bad configuration with identical error text.
+	if err := w.Validate(); err != nil {
+		fatal(err)
+	}
 
 	if *compare {
 		reps, err := core.Compare(w)

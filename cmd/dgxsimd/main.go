@@ -1,0 +1,85 @@
+// Command dgxsimd serves the simulator over HTTP/JSON: one-shot
+// simulations, P2P-vs-NCCL comparisons, and parallel what-if sweeps over
+// configuration grids, backed by a bounded worker pool and a
+// deterministic result cache (see internal/service).
+//
+// Usage:
+//
+//	dgxsimd -addr :8080 -workers 8 -cache 1024 -timeout 60s
+//
+//	curl -s localhost:8080/v1/simulate -d '{"Model":"resnet","GPUs":4,"Batch":32}'
+//	curl -s localhost:8080/v1/sweep -d '{"Models":["lenet","alexnet"],"GPUs":[1,2,4,8],"Batches":[16],"Methods":["p2p","nccl"]}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests finish
+// (bounded by -drain), then the worker pool is released.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+		cache   = flag.Int("cache", 0, "result-cache capacity in reports (0 = default 1024)")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-request simulation timeout")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	svc := service.NewServer(service.Config{
+		Workers:   *workers,
+		CacheSize: *cache,
+		Timeout:   *timeout,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("dgxsimd: listening on %s (workers=%d)", *addr, svc.PoolStats().Workers)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("dgxsimd: shutting down (draining up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("dgxsimd: forced shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dgxsimd:", err)
+	os.Exit(1)
+}

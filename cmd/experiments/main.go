@@ -24,13 +24,14 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "", "comma-separated experiment ids (empty = all)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		images = flag.Int64("images", 0, "dataset images (0 = paper's 256K)")
-		reps   = flag.Int("reps", 5, "repetitions per configuration")
-		seed   = flag.Int64("seed", 1, "jitter seed")
-		csvDir = flag.String("csv", "", "directory to also write tables as CSV")
-		md     = flag.Bool("md", false, "print tables as Markdown instead of aligned text")
+		run     = flag.String("run", "", "comma-separated experiment ids (empty = all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		images  = flag.Int64("images", 0, "dataset images (0 = paper's 256K)")
+		reps    = flag.Int("reps", 5, "repetitions per configuration")
+		seed    = flag.Int64("seed", 1, "jitter seed")
+		workers = flag.Int("workers", 0, "parallel sweep workers (0 = NumCPU, 1 = sequential)")
+		csvDir  = flag.String("csv", "", "directory to also write tables as CSV")
+		md      = flag.Bool("md", false, "print tables as Markdown instead of aligned text")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Repetitions: *reps, Seed: *seed, Images: *images}
+	opt := experiments.Options{Repetitions: *reps, Seed: *seed, Images: *images, Workers: *workers}
 	selected := experiments.All()
 	if *run != "" {
 		selected = selected[:0]

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -111,6 +112,9 @@ func (r *Report) WriteJSON(w io.Writer) error {
 
 // Run simulates one epoch of the workload.
 func Run(w Workload) (*Report, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
 	if w.Method == "" {
 		w.Method = NCCL
 	}
@@ -161,6 +165,32 @@ func Run(w Workload) (*Report, error) {
 		ComputeUtilization: res.ComputeUtilization,
 		Profile:            res.Profile,
 	}, nil
+}
+
+// RunContext simulates one epoch of the workload, honouring cancellation
+// and deadlines. The simulation itself is not preemptible — on timeout
+// the worker goroutine finishes its epoch in the background and its
+// result is discarded — but callers (per-request server timeouts, sweep
+// cancellation) regain control as soon as the context expires.
+func RunContext(ctx context.Context, w Workload) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type outcome struct {
+		r   *Report
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := Run(w)
+		ch <- outcome{r, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case o := <-ch:
+		return o.r, o.err
+	}
 }
 
 // Compare runs the workload under both communication methods and returns

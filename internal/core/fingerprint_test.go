@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestFingerprintCoversEveryField perturbs each exported Workload field
+// in turn and asserts the fingerprint changes. If a future field is
+// added to Workload and (somehow) escapes the canonical encoding, this
+// test fails — the guard against silently serving stale cached results.
+func TestFingerprintCoversEveryField(t *testing.T) {
+	base := Workload{Model: "lenet", GPUs: 2, Batch: 16, Method: NCCL, Images: 1000}
+	baseFP := base.Fingerprint()
+	rt := reflect.TypeOf(base)
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		t.Run(f.Name, func(t *testing.T) {
+			w := base
+			fv := reflect.ValueOf(&w).Elem().Field(i)
+			perturb(t, f.Name, fv)
+			if got := w.Fingerprint(); got == baseFP {
+				t.Errorf("perturbing %s did not change the fingerprint", f.Name)
+			}
+		})
+	}
+}
+
+// perturb sets a field to a value distinct from the base workload's and
+// from the canonicalized defaults (NCCL method, paper dataset size).
+func perturb(t *testing.T, name string, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.String:
+		v.SetString(v.String() + "-perturbed")
+	case reflect.Int, reflect.Int64:
+		v.SetInt(v.Int() + 977)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	default:
+		t.Fatalf("field %s has kind %v; teach perturb about it", name, v.Kind())
+	}
+}
+
+// Workloads Run treats identically must share a fingerprint.
+func TestFingerprintCanonicalizesDefaults(t *testing.T) {
+	zero := Workload{Model: "lenet", GPUs: 2, Batch: 16}
+	explicit := Workload{Model: "lenet", GPUs: 2, Batch: 16, Method: NCCL, Images: 256 * 1024}
+	if zero.Fingerprint() != explicit.Fingerprint() {
+		t.Error("zero Method/Images should fingerprint like the explicit defaults")
+	}
+	p2p := explicit
+	p2p.Method = P2P
+	if p2p.Fingerprint() == explicit.Fingerprint() {
+		t.Error("p2p and nccl workloads must not collide")
+	}
+}
+
+func TestFingerprintIsStableAcrossCalls(t *testing.T) {
+	w := Workload{Model: "resnet", GPUs: 8, Batch: 32, Method: P2P, Async: true}
+	if w.Fingerprint() != w.Fingerprint() {
+		t.Error("fingerprint must be deterministic")
+	}
+	if len(w.Fingerprint()) != 64 {
+		t.Errorf("fingerprint %q should be a sha256 hex digest", w.Fingerprint())
+	}
+}
+
+func TestRunContext(t *testing.T) {
+	r, err := RunContext(context.Background(), Workload{Model: "lenet", GPUs: 1, Batch: 16})
+	if err != nil || r == nil {
+		t.Fatalf("RunContext = %v, %v", r, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Workload{Model: "lenet", GPUs: 1, Batch: 16}); err != context.Canceled {
+		t.Errorf("cancelled RunContext = %v, want context.Canceled", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	if _, err := RunContext(ctx2, Workload{Model: "inception-v3", GPUs: 8, Batch: 16}); err == nil {
+		t.Error("expired deadline should abort RunContext")
+	}
+}
+
+func ExampleWorkload_Fingerprint() {
+	a := Workload{Model: "lenet", GPUs: 4, Batch: 16}
+	b := Workload{Model: "lenet", GPUs: 4, Batch: 16, Method: NCCL}
+	fmt.Println(a.Fingerprint() == b.Fingerprint())
+	// Output: true
+}

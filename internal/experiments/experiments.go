@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/data"
 	"repro/internal/kvstore"
 	"repro/internal/report"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/train"
@@ -30,6 +32,10 @@ type Options struct {
 	// Images overrides the strong-scaling dataset size (0 = the paper's
 	// 256K). Benchmarks use a smaller value where only shape matters.
 	Images int64
+	// Workers bounds the worker pool the sweeps fan out on (0 = NumCPU,
+	// 1 = sequential). Results are collected by configuration index, so
+	// every worker count renders byte-identical tables.
+	Workers int
 }
 
 func (o *Options) normalize() {
@@ -97,6 +103,17 @@ var (
 	// Methods the paper compares.
 	Methods = []kvstore.Method{kvstore.MethodP2P, kvstore.MethodNCCL}
 )
+
+// parMap fans an n-configuration sweep out on a bounded worker pool
+// (the same pool implementation that backs cmd/dgxsimd) and returns the
+// results in index order. Completion order never leaks into the output,
+// so the parallel sweep renders byte-identically to a sequential one —
+// determinism_test.go and parallel_test.go hold it to that.
+func parMap[T any](opt Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	p := service.NewPool(opt.Workers)
+	defer p.Close()
+	return service.MapIndexed(context.Background(), p, n, fn)
+}
 
 // runOne simulates a single configuration.
 func runOne(model string, gpus, batch int, method kvstore.Method, images int64) (*train.Result, error) {

@@ -140,7 +140,35 @@ func sortedTracks(m map[trackStage]time.Duration) []string {
 // repetitions.
 func Fig3(opt Options) ([]*report.Table, error) {
 	opt.normalize()
+	type cfg struct {
+		model  string
+		method kvstore.Method
+		batch  int
+		gpus   int
+	}
+	var cfgs []cfg
+	for _, m := range ModelNames {
+		for _, method := range Methods {
+			for _, b := range Batches {
+				for _, g := range GPUCounts {
+					cfgs = append(cfgs, cfg{m, method, b, g})
+				}
+			}
+		}
+	}
+	cells, err := parMap(opt, len(cfgs), func(i int) (string, error) {
+		c := cfgs[i]
+		ms, err := measure(opt, c.model, c.gpus, c.batch, c.method, opt.Images)
+		if err != nil {
+			return "", err
+		}
+		return ms.sample.String(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []*report.Table
+	k := 0
 	for _, m := range ModelNames {
 		d, err := models.ByName(m)
 		if err != nil {
@@ -153,12 +181,9 @@ func Fig3(opt Options) ([]*report.Table, error) {
 				"Batch Size", "1 GPU", "2 GPUs", "4 GPUs", "8 GPUs")
 			for _, b := range Batches {
 				row := []string{fmt.Sprintf("%d", b)}
-				for _, g := range GPUCounts {
-					ms, err := measure(opt, m, g, b, method, opt.Images)
-					if err != nil {
-						return nil, err
-					}
-					row = append(row, ms.sample.String())
+				for range GPUCounts {
+					row = append(row, cells[k])
+					k++
 				}
 				t.AddRow(row...)
 			}
@@ -172,7 +197,27 @@ func Fig3(opt Options) ([]*report.Table, error) {
 // computation (FP+BP) and exposed communication (WU) under NCCL.
 func Fig4(opt Options) ([]*report.Table, error) {
 	opt.normalize()
+	type cfg struct {
+		model       string
+		gpus, batch int
+	}
+	var cfgs []cfg
+	for _, m := range ModelNames {
+		for _, g := range GPUCounts {
+			for _, b := range Batches {
+				cfgs = append(cfgs, cfg{m, g, b})
+			}
+		}
+	}
+	results, err := parMap(opt, len(cfgs), func(i int) (*train.Result, error) {
+		c := cfgs[i]
+		return runOne(c.model, c.gpus, c.batch, kvstore.MethodNCCL, opt.Images)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []*report.Table
+	k := 0
 	for _, m := range ModelNames {
 		d, err := models.ByName(m)
 		if err != nil {
@@ -183,10 +228,8 @@ func Fig4(opt Options) ([]*report.Table, error) {
 			"GPUs", "Batch", "FP+BP", "WU", "WU share (%)")
 		for _, g := range GPUCounts {
 			for _, b := range Batches {
-				r, err := runOne(m, g, b, kvstore.MethodNCCL, opt.Images)
-				if err != nil {
-					return nil, err
-				}
+				r := results[k]
+				k++
 				wu := fmtDur(r.WUWall)
 				share := report.F(100*float64(r.WUWall)/float64(r.EpochTime), 1)
 				if g == 1 {
@@ -208,7 +251,42 @@ func Fig4(opt Options) ([]*report.Table, error) {
 // strong scaling.
 func Fig5(opt Options) ([]*report.Table, error) {
 	opt.normalize()
+	type cfg struct {
+		model       string
+		method      kvstore.Method
+		batch, gpus int
+	}
+	type pair struct {
+		weak, strong *train.Result
+	}
+	var cfgs []cfg
+	for _, m := range ModelNames {
+		for _, method := range Methods {
+			for _, b := range Batches {
+				for _, g := range GPUCounts {
+					cfgs = append(cfgs, cfg{m, method, b, g})
+				}
+			}
+		}
+	}
+	results, err := parMap(opt, len(cfgs), func(i int) (pair, error) {
+		c := cfgs[i]
+		weakImages := data.EffectiveImages(opt.Images, c.gpus, data.WeakScaling)
+		weak, err := runOne(c.model, c.gpus, c.batch, c.method, weakImages)
+		if err != nil {
+			return pair{}, err
+		}
+		strong, err := runOne(c.model, c.gpus, c.batch, c.method, opt.Images)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{weak, strong}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []*report.Table
+	k := 0
 	for _, m := range ModelNames {
 		d, err := models.ByName(m)
 		if err != nil {
@@ -220,19 +298,12 @@ func Fig5(opt Options) ([]*report.Table, error) {
 				"Batch", "GPUs", "Total epoch (weak)", "Per-256K (weak)", "Per-256K (strong)", "Weak advantage (%)")
 			for _, b := range Batches {
 				for _, g := range GPUCounts {
-					weakImages := data.EffectiveImages(opt.Images, g, data.WeakScaling)
-					weak, err := runOne(m, g, b, method, weakImages)
-					if err != nil {
-						return nil, err
-					}
-					strong, err := runOne(m, g, b, method, opt.Images)
-					if err != nil {
-						return nil, err
-					}
-					per := weak.EpochTime / time.Duration(g)
-					adv := 100 * (1 - float64(per)/float64(strong.EpochTime))
+					r := results[k]
+					k++
+					per := r.weak.EpochTime / time.Duration(g)
+					adv := 100 * (1 - float64(per)/float64(r.strong.EpochTime))
 					t.AddRow(fmt.Sprintf("%d", b), fmt.Sprintf("%d", g),
-						fmtDur(weak.EpochTime), fmtDur(per), fmtDur(strong.EpochTime),
+						fmtDur(r.weak.EpochTime), fmtDur(per), fmtDur(r.strong.EpochTime),
 						report.F(adv, 1))
 				}
 			}

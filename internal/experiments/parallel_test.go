@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// The parallel sweeps collect results by configuration index, never by
+// completion order, so any worker count must render byte-identical
+// tables. This pins the satellite requirement: `make experiments` got
+// faster without changing a single output byte.
+func TestParallelSweepsRenderIdentically(t *testing.T) {
+	runs := []struct {
+		name string
+		run  func(Options) ([]*report.Table, error)
+	}{
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"table2", Table2},
+		{"table3", Table3},
+	}
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 8 // force real fan-out even on a single-CPU runner
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			seqOpt := testOpts
+			seqOpt.Workers = 1
+			parOpt := testOpts
+			parOpt.Workers = workers
+
+			seq, err := r.run(seqOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := r.run(parOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seq) != len(par) {
+				t.Fatalf("sequential run rendered %d tables, parallel %d", len(seq), len(par))
+			}
+			for i := range seq {
+				if seq[i].String() != par[i].String() {
+					t.Errorf("table %d differs between 1 and %d workers:\nsequential:\n%s\nparallel:\n%s",
+						i, workers, seq[i].String(), par[i].String())
+				}
+			}
+		})
+	}
+}

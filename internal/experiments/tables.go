@@ -7,6 +7,7 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/models"
 	"repro/internal/report"
+	"repro/internal/train"
 	"repro/internal/units"
 )
 
@@ -36,21 +37,40 @@ func Table2(opt Options) ([]*report.Table, error) {
 	opt.normalize()
 	t := report.NewTable("Table II: NCCL overhead compared to P2P on a single GPU",
 		"Network", "Batch Size", "P2P epoch", "NCCL epoch", "NCCL Overhead (%)")
+	type cfg struct {
+		model string
+		batch int
+	}
+	type pair struct {
+		p, n *train.Result
+	}
+	var cfgs []cfg
 	for _, m := range ModelNames {
 		for _, b := range Batches {
-			p, err := runOne(m, 1, b, kvstore.MethodP2P, opt.Images)
-			if err != nil {
-				return nil, err
-			}
-			n, err := runOne(m, 1, b, kvstore.MethodNCCL, opt.Images)
-			if err != nil {
-				return nil, err
-			}
-			ov := 100 * (n.EpochTime.Seconds() - p.EpochTime.Seconds()) / p.EpochTime.Seconds()
-			d, _ := models.ByName(m)
-			t.AddRow(d.Name, fmt.Sprintf("%d", b),
-				fmtDur(p.EpochTime), fmtDur(n.EpochTime), report.F(ov, 1))
+			cfgs = append(cfgs, cfg{m, b})
 		}
+	}
+	results, err := parMap(opt, len(cfgs), func(i int) (pair, error) {
+		c := cfgs[i]
+		p, err := runOne(c.model, 1, c.batch, kvstore.MethodP2P, opt.Images)
+		if err != nil {
+			return pair{}, err
+		}
+		n, err := runOne(c.model, 1, c.batch, kvstore.MethodNCCL, opt.Images)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{p, n}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cfgs {
+		p, n := results[i].p, results[i].n
+		ov := 100 * (n.EpochTime.Seconds() - p.EpochTime.Seconds()) / p.EpochTime.Seconds()
+		d, _ := models.ByName(c.model)
+		t.AddRow(d.Name, fmt.Sprintf("%d", c.batch),
+			fmtDur(p.EpochTime), fmtDur(n.EpochTime), report.F(ov, 1))
 	}
 	t.AddNote("paper anchor: LeNet batch 16 = 21.8%%; overhead grows with batch for the small networks, varies <3.6pp for the large ones")
 	return []*report.Table{t}, nil
@@ -62,14 +82,23 @@ func Table3(opt Options) ([]*report.Table, error) {
 	opt.normalize()
 	t := report.NewTable("Table III: cudaStreamSynchronize API overhead, LeNet",
 		"Batch Size", "GPU Count", "Time (%)")
+	type cfg struct {
+		batch, gpus int
+	}
+	var cfgs []cfg
 	for _, b := range Batches {
 		for _, g := range GPUCounts {
-			r, err := runOne("lenet", g, b, kvstore.MethodNCCL, opt.Images)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprintf("%d", b), fmt.Sprintf("%d", g), report.F(r.SyncPercent, 1))
+			cfgs = append(cfgs, cfg{b, g})
 		}
+	}
+	results, err := parMap(opt, len(cfgs), func(i int) (*train.Result, error) {
+		return runOne("lenet", cfgs[i].gpus, cfgs[i].batch, kvstore.MethodNCCL, opt.Images)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cfgs {
+		t.AddRow(fmt.Sprintf("%d", c.batch), fmt.Sprintf("%d", c.gpus), report.F(results[i].SyncPercent, 1))
 	}
 	t.AddNote("share of per-GPU wall time blocked in cudaStreamSynchronize; grows with GPU count, shrinks with batch size")
 	return []*report.Table{t}, nil

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Cache is a bounded LRU of simulation reports keyed by the canonical
+// workload fingerprint (core.Workload.Fingerprint). The simulator is
+// deterministic, so a hit is exactly the report a fresh run would
+// produce — repeated what-if queries return in microseconds instead of
+// re-simulating the epoch. Safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key    string
+	report *core.Report
+}
+
+// NewCache returns an LRU holding at most max reports; max <= 0 selects
+// a default of 1024 (a full 5-model × 8-GPU × 3-batch × 2-method grid is
+// 240 entries, so the default keeps several sweeps resident).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// Get returns the cached report for a fingerprint, promoting it to most
+// recently used.
+func (c *Cache) Get(key string) (*core.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).report, true
+}
+
+// Put stores a report, evicting the least recently used entry when full.
+// Storing an existing key refreshes its value and recency.
+func (c *Cache) Put(key string, r *core.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).report = r
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, report: r})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a snapshot of the hit/miss/eviction counters.
+type CacheStats struct {
+	Size, Max               int
+	Hits, Misses, Evictions uint64
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:      c.ll.Len(),
+		Max:       c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func report(model string) *core.Report {
+	return &core.Report{Workload: core.Workload{Model: model}}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put("a", report("lenet"))
+	r, ok := c.Get("a")
+	if !ok || r.Workload.Model != "lenet" {
+		t.Fatalf("Get after Put = %v, %v", r, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", report("a"))
+	c.Put("b", report("b"))
+	c.Get("a") // refresh a; b is now the LRU
+	c.Put("c", report("c"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was recently used and should survive")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c was just inserted and should survive")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Errorf("stats = %+v, want 1 eviction at size 2", st)
+	}
+}
+
+func TestCachePutExistingRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", report("old"))
+	c.Put("b", report("b"))
+	c.Put("a", report("new")) // refresh, no eviction
+	c.Put("c", report("c"))   // evicts b, the LRU
+	if r, ok := c.Get("a"); !ok || r.Workload.Model != "new" {
+		t.Errorf("refreshed entry = %v, %v", r, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := NewCache(0)
+	if c.Stats().Max != 1024 {
+		t.Errorf("default max = %d, want 1024", c.Stats().Max)
+	}
+}
+
+// The cache is the service's shared hot structure — hammer it from many
+// goroutines so `go test -race` gates it.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%32)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, report(key))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size > 16 {
+		t.Errorf("size %d exceeds capacity 16", st.Size)
+	}
+	if st.Hits+st.Misses != 8*200 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the per-endpoint latency reservoir: percentiles
+// are computed over the most recent window, so /metrics stays O(1)
+// memory no matter how long the daemon runs.
+const latencyWindow = 512
+
+// metrics aggregates per-endpoint request counters and recent-latency
+// percentiles for the plain-text /metrics endpoint.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	requests uint64
+	errors   uint64
+	window   []time.Duration // ring buffer of the latest latencies
+	next     int
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
+}
+
+// observe records one request's outcome.
+func (m *metrics) observe(path string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[path]
+	if e == nil {
+		e = &endpointMetrics{}
+		m.endpoints[path] = e
+	}
+	e.requests++
+	if failed {
+		e.errors++
+	}
+	if len(e.window) < latencyWindow {
+		e.window = append(e.window, d)
+	} else {
+		e.window[e.next] = d
+		e.next = (e.next + 1) % latencyWindow
+	}
+}
+
+// quantile returns the q-th (0..1) latency of a sorted window.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// render writes the exposition text: request counts, error counts and
+// latency percentiles per endpoint, plus the cache and pool gauges.
+func (m *metrics) render(cs CacheStats, ps PoolStats) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "dgxsimd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
+	paths := make([]string, 0, len(m.endpoints))
+	for p := range m.endpoints {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		e := m.endpoints[p]
+		fmt.Fprintf(&b, "dgxsimd_requests_total{path=%q} %d\n", p, e.requests)
+		fmt.Fprintf(&b, "dgxsimd_request_errors_total{path=%q} %d\n", p, e.errors)
+		sorted := append([]time.Duration(nil), e.window...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+			fmt.Fprintf(&b, "dgxsimd_latency_seconds{path=%q,quantile=%q} %.6f\n",
+				p, q.label, quantile(sorted, q.v).Seconds())
+		}
+	}
+
+	fmt.Fprintf(&b, "dgxsimd_cache_size %d\n", cs.Size)
+	fmt.Fprintf(&b, "dgxsimd_cache_max %d\n", cs.Max)
+	fmt.Fprintf(&b, "dgxsimd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(&b, "dgxsimd_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(&b, "dgxsimd_cache_evictions_total %d\n", cs.Evictions)
+
+	fmt.Fprintf(&b, "dgxsimd_pool_workers %d\n", ps.Workers)
+	fmt.Fprintf(&b, "dgxsimd_pool_queued %d\n", ps.Queued)
+	fmt.Fprintf(&b, "dgxsimd_pool_active %d\n", ps.Active)
+	fmt.Fprintf(&b, "dgxsimd_pool_completed_total %d\n", ps.Completed)
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool for running independent simulations on
+// parallel goroutines. Every simulation builds its own sim.Engine, so
+// concurrent runs never share mutable state; the pool only bounds how
+// many are in flight at once. It backs the service's request fan-out and
+// the experiment sweeps, turning an N-way configuration grid into a
+// near-linear speedup on multicore.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup // worker goroutines
+
+	workers   int
+	queued    atomic.Int64 // submitted, not yet started
+	active    atomic.Int64 // currently executing
+	completed atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// NewPool starts a pool of the given size; workers <= 0 selects
+// runtime.NumCPU(). Close the pool to release its goroutines.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{
+		// A buffer of one queue slot per worker keeps submitters from
+		// blocking on short bursts without letting the queue grow
+		// unboundedly under sustained overload.
+		tasks:   make(chan func(), workers),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for fn := range p.tasks {
+		p.queued.Add(-1)
+		p.active.Add(1)
+		fn()
+		p.active.Add(-1)
+		p.completed.Add(1)
+	}
+}
+
+// Submit enqueues a task, blocking while all workers are busy and the
+// queue is full (backpressure, not unbounded buffering). Submitting to a
+// closed pool panics, like sending on a closed channel.
+func (p *Pool) Submit(fn func()) {
+	p.queued.Add(1)
+	p.tasks <- fn
+}
+
+// Close stops accepting tasks and waits for in-flight ones to finish.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}
+
+// PoolStats is a snapshot of pool occupancy for /metrics.
+type PoolStats struct {
+	Workers   int
+	Queued    int64
+	Active    int64
+	Completed int64
+}
+
+// Stats snapshots the pool's occupancy counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		Queued:    p.queued.Load(),
+		Active:    p.active.Load(),
+		Completed: p.completed.Load(),
+	}
+}
+
+// Map runs fn(0..n-1) on the pool and blocks until all calls return or
+// the context is cancelled. Results are the caller's to collect — by
+// index, so output order never depends on completion order. The first
+// error (lowest index) wins; once the context is cancelled remaining
+// indices are skipped.
+func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+	}
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		if ctx.Err() != nil {
+			wg.Done()
+			continue
+		}
+		p.Submit(func() {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			if err := fn(i); err != nil {
+				record(i, fmt.Errorf("task %d: %w", i, err))
+			}
+		})
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// MapIndexed runs fn over 0..n-1 on the pool and returns the results in
+// index order — the deterministic-output primitive the sweep endpoints
+// and the experiment tables are built on.
+func MapIndexed[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.Map(ctx, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,419 @@
+// Package service is the simulation-as-a-service layer: an HTTP/JSON
+// API over the internal/core façade, backed by a bounded worker pool
+// (parallel fan-out of independent simulations) and a deterministic LRU
+// result cache (the simulator is seeded, so whole-workload memoization
+// is exact). cmd/dgxsimd wraps it in a daemon; internal/experiments
+// reuses the pool to parallelize the paper sweeps.
+//
+// Endpoints:
+//
+//	POST /v1/simulate  one core.Workload -> core.Report
+//	POST /v1/compare   one workload under p2p and nccl -> both reports
+//	POST /v1/sweep     a models x gpus x batches x methods grid, fanned
+//	                   out on the pool -> reports in grid order
+//	GET  /v1/models    the model zoo
+//	GET  /healthz      liveness probe
+//	GET  /metrics      plain-text counters: requests, latency
+//	                   percentiles, cache hits/misses/evictions, pool depth
+//
+// Everything is stdlib-only: net/http, encoding/json, container/list, sync.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrent simulations (<= 0: runtime.NumCPU()).
+	Workers int
+	// CacheSize bounds the result cache (<= 0: the default 1024).
+	CacheSize int
+	// Timeout bounds each request's simulation work (<= 0: 60s).
+	Timeout time.Duration
+}
+
+// Server implements the simulation service. Create one with NewServer,
+// serve Handler(), and Close it to release the pool.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// NewServer builds a ready-to-serve instance.
+func NewServer(cfg Config) *Server {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Workers),
+		cache:   NewCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("/v1/compare", s.instrument("/v1/compare", s.handleCompare))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool. The server must not serve requests
+// afterwards.
+func (s *Server) Close() { s.pool.Close() }
+
+// CacheStats exposes the result-cache counters (also on /metrics).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// PoolStats exposes the worker-pool counters (also on /metrics).
+func (s *Server) PoolStats() PoolStats { return s.pool.Stats() }
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency capture.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		s.metrics.observe(path, time.Since(start), rec.status >= 400)
+	}
+}
+
+// httpError maps an error to a status code and writes the JSON error
+// body every endpoint shares.
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	case isBadRequest(err):
+		status = http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// badRequestError marks client mistakes (malformed body, invalid
+// workload) so httpError maps them to 400.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func isBadRequest(err error) bool {
+	var bre badRequestError
+	return errors.As(err, &bre)
+}
+
+// decodeWorkload parses and validates a request body.
+func decodeWorkload(r *http.Request) (core.Workload, error) {
+	var w core.Workload
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return core.Workload{}, badRequestError{fmt.Errorf("decode workload: %w", err)}
+	}
+	if err := w.Validate(); err != nil {
+		return core.Workload{}, badRequestError{err}
+	}
+	return w, nil
+}
+
+// marshalReport is the one serialization every endpoint shares, so a
+// sweep cell is byte-identical to the /v1/simulate response for the
+// same configuration.
+func marshalReport(r *core.Report) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+func writeJSONBytes(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+// runCached executes one validated workload through the cache: hit
+// returns the memoized report; miss simulates and stores. It runs on
+// the caller's goroutine — fan-out across the pool happens at the
+// handler layer, never here (nesting pool waits inside pool tasks would
+// deadlock a full pool).
+func (s *Server) runCached(ctx context.Context, w core.Workload) (*core.Report, bool, error) {
+	key := w.Fingerprint()
+	if r, ok := s.cache.Get(key); ok {
+		return r, true, nil
+	}
+	r, err := core.RunContext(ctx, w)
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.Put(key, r)
+	return r, false, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, badRequestError{fmt.Errorf("use POST")})
+		return
+	}
+	wl, err := decodeWorkload(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	var (
+		rep *core.Report
+		hit bool
+	)
+	// One-task fan-out: the pool bounds simulation concurrency across
+	// all in-flight requests.
+	err = s.pool.Map(ctx, 1, func(int) error {
+		var runErr error
+		rep, hit, runErr = s.runCached(ctx, wl)
+		return runErr
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	b, err := marshalReport(rep)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("X-Cache", cacheHeader(hit))
+	writeJSONBytes(w, b)
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "HIT"
+	}
+	return "MISS"
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, badRequestError{fmt.Errorf("use POST")})
+		return
+	}
+	wl, err := decodeWorkload(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	methods := []core.Method{core.P2P, core.NCCL}
+	for _, m := range methods {
+		wm := wl
+		wm.Method = m
+		if err := wm.Validate(); err != nil {
+			httpError(w, badRequestError{err})
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	reps, err := MapIndexed(ctx, s.pool, len(methods), func(i int) (*core.Report, error) {
+		wm := wl
+		wm.Method = methods[i]
+		rep, _, err := s.runCached(ctx, wm)
+		return rep, err
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	out := make(map[core.Method]*core.Report, len(methods))
+	for i, m := range methods {
+		out[m] = reps[i]
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSONBytes(w, b)
+}
+
+// SweepRequest describes a configuration grid. Axes left empty inherit
+// the base workload's value; the grid expands in models -> gpus ->
+// batches -> methods nesting order, and results come back in exactly
+// that order regardless of which simulations finish first.
+type SweepRequest struct {
+	Base    core.Workload
+	Models  []string
+	GPUs    []int
+	Batches []int
+	Methods []core.Method
+}
+
+// Expand materializes the grid as concrete workloads.
+func (sr SweepRequest) Expand() []core.Workload {
+	ms := sr.Models
+	if len(ms) == 0 {
+		ms = []string{sr.Base.Model}
+	}
+	gs := sr.GPUs
+	if len(gs) == 0 {
+		gs = []int{sr.Base.GPUs}
+	}
+	bs := sr.Batches
+	if len(bs) == 0 {
+		bs = []int{sr.Base.Batch}
+	}
+	mets := sr.Methods
+	if len(mets) == 0 {
+		mets = []core.Method{sr.Base.Method}
+	}
+	out := make([]core.Workload, 0, len(ms)*len(gs)*len(bs)*len(mets))
+	for _, m := range ms {
+		for _, g := range gs {
+			for _, b := range bs {
+				for _, met := range mets {
+					w := sr.Base
+					w.Model, w.GPUs, w.Batch, w.Method = m, g, b, met
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SweepResponse carries the grid results in grid order. Results are the
+// exact bytes /v1/simulate would return for each configuration, so the
+// body is deterministic across repeats; cache metadata travels in the
+// X-Cache-Hits header and /metrics, not the body.
+type SweepResponse struct {
+	Count   int               `json:"count"`
+	Results []json.RawMessage `json:"results"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, badRequestError{fmt.Errorf("use POST")})
+		return
+	}
+	var req SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, badRequestError{fmt.Errorf("decode sweep: %w", err)})
+		return
+	}
+	grid := req.Expand()
+	if len(grid) == 0 {
+		httpError(w, badRequestError{fmt.Errorf("empty sweep grid")})
+		return
+	}
+	// Reject the whole grid before simulating any of it.
+	for i, wl := range grid {
+		if err := wl.Validate(); err != nil {
+			httpError(w, badRequestError{fmt.Errorf("config %d: %w", i, err)})
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	before := s.cache.Stats().Hits
+	results, err := MapIndexed(ctx, s.pool, len(grid), func(i int) (json.RawMessage, error) {
+		rep, _, err := s.runCached(ctx, grid[i])
+		if err != nil {
+			return nil, err
+		}
+		return marshalReport(rep)
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	b, err := json.Marshal(SweepResponse{Count: len(grid), Results: results})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("X-Cache-Hits", fmt.Sprintf("%d", s.cache.Stats().Hits-before))
+	writeJSONBytes(w, b)
+}
+
+// ModelInfo is one zoo entry of the /v1/models listing.
+type ModelInfo struct {
+	Name             string `json:"name"`
+	Depth            int    `json:"depth"`
+	ConvLayers       int    `json:"convLayers"`
+	InceptionModules int    `json:"inceptionModules"`
+	FCLayers         int    `json:"fcLayers"`
+	Params           int64  `json:"params"`
+	Residual         bool   `json:"residual"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, badRequestError{fmt.Errorf("use GET")})
+		return
+	}
+	names := core.Models()
+	infos := make([]ModelInfo, 0, len(names))
+	for _, n := range names {
+		d, err := models.ByName(n)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		infos = append(infos, ModelInfo{
+			Name:             d.Name,
+			Depth:            d.Depth,
+			ConvLayers:       d.ConvLayers,
+			InceptionModules: d.InceptionModules,
+			FCLayers:         d.FCLayers,
+			Params:           d.Params,
+			Residual:         d.Residual,
+		})
+	}
+	b, err := json.Marshal(map[string][]ModelInfo{"models": infos})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSONBytes(w, b)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.metrics.render(s.cache.Stats(), s.pool.Stats()))
+}

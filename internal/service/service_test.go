@@ -1,0 +1,334 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := NewServer(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// sweep16 is the acceptance grid: 16 configurations of the fastest
+// model (1x2x4x8 GPUs x batches 16/32 x both methods), small epochs so
+// the test stays quick.
+var sweep16 = SweepRequest{
+	Base:    core.Workload{Images: 4096},
+	Models:  []string{"lenet"},
+	GPUs:    []int{1, 2, 4, 8},
+	Batches: []int{16, 32},
+	Methods: []core.Method{core.P2P, core.NCCL},
+}
+
+// TestSweepMatchesSequentialSimulate is the end-to-end acceptance test:
+// a parallel /v1/sweep over 16 configurations must return byte-for-byte
+// the same reports as 16 sequential /v1/simulate calls, and a second
+// identical sweep must be served entirely from cache.
+func TestSweepMatchesSequentialSimulate(t *testing.T) {
+	grid := sweep16.Expand()
+	if len(grid) != 16 {
+		t.Fatalf("grid has %d configs, want 16", len(grid))
+	}
+
+	// Sequential reference on its own server (its own cold cache).
+	_, seqTS := newTestServer(t, Config{Workers: 1})
+	sequential := make([][]byte, len(grid))
+	for i, wl := range grid {
+		resp, body := post(t, seqTS.URL+"/v1/simulate", wl)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate config %d: %d %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "MISS" {
+			t.Fatalf("simulate config %d on a cold cache: X-Cache = %q", i, got)
+		}
+		sequential[i] = bytes.TrimSpace(body)
+	}
+
+	// Parallel sweep on a fresh server: cold cache, full fan-out.
+	svc, ts := newTestServer(t, Config{Workers: 8})
+	resp, body := post(t, ts.URL+"/v1/sweep", sweep16)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Count != len(grid) || len(sr.Results) != len(grid) {
+		t.Fatalf("sweep returned %d/%d results, want %d", sr.Count, len(sr.Results), len(grid))
+	}
+	for i := range grid {
+		if !bytes.Equal(bytes.TrimSpace(sr.Results[i]), sequential[i]) {
+			t.Errorf("config %d: parallel sweep result differs from sequential simulate\nsweep: %s\nseq:   %s",
+				i, sr.Results[i], sequential[i])
+		}
+	}
+	if hits := resp.Header.Get("X-Cache-Hits"); hits != "0" {
+		t.Errorf("cold sweep reported %s cache hits, want 0", hits)
+	}
+
+	// The second identical sweep must be served entirely from cache.
+	before := svc.CacheStats()
+	resp2, body2 := post(t, ts.URL+"/v1/sweep", sweep16)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second sweep: %d %s", resp2.StatusCode, body2)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("second sweep body differs from the first; responses must be deterministic")
+	}
+	after := svc.CacheStats()
+	if got := after.Hits - before.Hits; got != uint64(len(grid)) {
+		t.Errorf("second sweep hit the cache %d times, want %d", got, len(grid))
+	}
+	if hits, _ := strconv.Atoi(resp2.Header.Get("X-Cache-Hits")); hits != len(grid) {
+		t.Errorf("X-Cache-Hits = %q, want %d", resp2.Header.Get("X-Cache-Hits"), len(grid))
+	}
+}
+
+func TestSimulateCacheHitHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	wl := core.Workload{Model: "lenet", GPUs: 2, Batch: 16, Images: 4096}
+	resp1, body1 := post(t, ts.URL+"/v1/simulate", wl)
+	if resp1.Header.Get("X-Cache") != "MISS" {
+		t.Errorf("first request X-Cache = %q, want MISS", resp1.Header.Get("X-Cache"))
+	}
+	resp2, body2 := post(t, ts.URL+"/v1/simulate", wl)
+	if resp2.Header.Get("X-Cache") != "HIT" {
+		t.Errorf("second request X-Cache = %q, want HIT", resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("cache hit must return identical bytes")
+	}
+	// A workload that only differs in defaults must hit too.
+	resp3, _ := post(t, ts.URL+"/v1/simulate",
+		core.Workload{Model: "lenet", GPUs: 2, Batch: 16, Method: core.NCCL, Images: 4096})
+	if resp3.Header.Get("X-Cache") != "HIT" {
+		t.Error("canonically-equal workload should hit the cache")
+	}
+}
+
+// The API and the CLI share core.Validate, so a bad config is rejected
+// with the same error text the CLI prints.
+func TestSimulateRejectsLikeValidate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	bad := core.Workload{Model: "vgg", GPUs: 2, Batch: 16}
+	resp, body := post(t, ts.URL+"/v1/simulate", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if want := bad.Validate().Error(); e.Error != want {
+		t.Errorf("API error %q differs from core.Validate's %q", e.Error, want)
+	}
+}
+
+func TestSweepRejectsBadConfigBeforeRunning(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	req := SweepRequest{
+		Base:    core.Workload{Batch: 16},
+		Models:  []string{"lenet", "bogus"},
+		GPUs:    []int{1},
+		Methods: []core.Method{core.NCCL},
+	}
+	resp, body := post(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `unknown model \"bogus\"`) &&
+		!strings.Contains(string(body), "unknown model") {
+		t.Errorf("error should name the bad model: %s", body)
+	}
+	if st := svc.PoolStats(); st.Completed != 0 {
+		t.Errorf("%d simulations ran despite the invalid grid", st.Completed)
+	}
+}
+
+func TestCompareEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/compare", core.Workload{Model: "lenet", GPUs: 4, Batch: 16, Images: 4096})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compare: %d %s", resp.StatusCode, body)
+	}
+	var out map[core.Method]*core.Report
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	p, n := out[core.P2P], out[core.NCCL]
+	if p == nil || n == nil {
+		t.Fatalf("compare must return both methods, got %v", out)
+	}
+	if p.EpochTime <= 0 || n.EpochTime <= 0 {
+		t.Error("degenerate compare reports")
+	}
+	// The paper's LeNet finding survives the service layer: P2P wins.
+	if p.EpochTime >= n.EpochTime {
+		t.Error("P2P should beat NCCL for LeNet")
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Models) != len(core.Models()) {
+		t.Fatalf("listed %d models, want %d", len(out.Models), len(core.Models()))
+	}
+	for _, m := range out.Models {
+		if m.Name == "" || m.Params <= 0 {
+			t.Errorf("degenerate model entry %+v", m)
+		}
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "ok\n" {
+		t.Errorf("healthz = %q", b)
+	}
+
+	post(t, ts.URL+"/v1/simulate", core.Workload{Model: "lenet", GPUs: 1, Batch: 16, Images: 4096})
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`dgxsimd_requests_total{path="/v1/simulate"} 1`,
+		"dgxsimd_cache_misses_total 1",
+		"dgxsimd_cache_size 1",
+		"dgxsimd_pool_workers",
+		`dgxsimd_latency_seconds{path="/v1/simulate",quantile="0.99"}`,
+		"dgxsimd_uptime_seconds",
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("metrics missing %q:\n%s", want, b)
+		}
+	}
+}
+
+func TestSimulateTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: time.Nanosecond})
+	resp, body := post(t, ts.URL+"/v1/simulate", core.Workload{Model: "inception-v3", GPUs: 8, Batch: 16})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", resp.StatusCode, body)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/simulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET simulate = %d, want 400", resp.StatusCode)
+	}
+}
+
+// Concurrent identical and distinct requests against one server — the
+// shared cache, pool, and metrics under -race.
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			wl := core.Workload{Model: "lenet", GPUs: 1 + g%2, Batch: 16, Images: 4096}
+			for i := 0; i < 3; i++ {
+				b, _ := json.Marshal(wl)
+				resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(b))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("goroutine %d: status %d", g, resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSweepExpandGridOrder(t *testing.T) {
+	req := SweepRequest{
+		Base:    core.Workload{Batch: 16},
+		Models:  []string{"a", "b"},
+		GPUs:    []int{1, 2},
+		Methods: []core.Method{"p2p"},
+	}
+	grid := req.Expand()
+	want := []string{"a/1", "a/2", "b/1", "b/2"}
+	if len(grid) != len(want) {
+		t.Fatalf("grid len %d, want %d", len(grid), len(want))
+	}
+	for i, w := range grid {
+		if got := fmt.Sprintf("%s/%d", w.Model, w.GPUs); got != want[i] {
+			t.Errorf("grid[%d] = %s, want %s (models -> gpus -> batches -> methods order)", i, got, want[i])
+		}
+		if w.Batch != 16 {
+			t.Errorf("grid[%d] should inherit the base batch", i)
+		}
+	}
+}
