@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench serve experiments examples clean
+.PHONY: all build test test-race vet bench bench-json serve experiments examples clean
 
 all: build vet test
 
@@ -27,6 +27,14 @@ serve:
 # One testing.B benchmark per paper table/figure, plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Snapshot the tracked performance baseline (cold vs warm core.Run and
+# the 8-way RunMany sweep) as BENCH_<date>.json for commit-over-commit
+# comparison. README "Performance" explains the numbers.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkCoreRun(Cold|Warm|Many8)$$' -benchmem . \
+		| $(GO) run ./cmd/benchjson -date $$(date +%F) > BENCH_$$(date +%F).json
+	@cat BENCH_$$(date +%F).json
 
 # Regenerate every paper artifact (tables and figures) on stdout.
 experiments:

@@ -11,6 +11,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -351,6 +352,7 @@ func BenchmarkServiceSweep(b *testing.B) {
 		b.Run(fmt.Sprintf("cold/workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
+				core.ResetCaches() // keep "cold" cold under the artifact layer
 				svc := service.NewServer(service.Config{Workers: workers})
 				ts := httptest.NewServer(svc.Handler())
 				b.StartTimer()
@@ -377,5 +379,63 @@ func BenchmarkServiceSweep(b *testing.B) {
 			st := svc.CacheStats()
 			b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "cache-hit-ratio")
 		})
+	}
+}
+
+// The three benchmarks below are the tracked baseline `make bench-json`
+// snapshots into BENCH_<date>.json: the compile-once/simulate-many split
+// lives or dies by the cold/warm gap (warm runs skip graph building, plan
+// lowering, and the discrete-event window and only redo extrapolation
+// arithmetic), so ns/op and allocs/op for these three are the numbers to
+// watch across commits.
+
+// benchWorkload is a mid-sized configuration: large enough that compile
+// cost dominates a cold run, small enough to keep -benchtime reasonable.
+var benchWorkload = core.Workload{Model: "resnet", GPUs: 4, Batch: 32, Images: 64 * 1024}
+
+// BenchmarkCoreRunCold measures a full compile+simulate: every iteration
+// drops the artifact caches first.
+func BenchmarkCoreRunCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.ResetCaches()
+		if _, err := core.Run(benchWorkload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreRunWarm measures a cache-served run: the window is
+// compiled once outside the timer, then every iteration reuses it.
+func BenchmarkCoreRunWarm(b *testing.B) {
+	core.ResetCaches()
+	if _, err := core.Run(benchWorkload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(benchWorkload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreRunMany8 measures the batch entry point on an 8-way
+// dataset-size sweep sharing one compiled window (the compile-once,
+// simulate-many shape sweeps hit).
+func BenchmarkCoreRunMany8(b *testing.B) {
+	ws := make([]core.Workload, 8)
+	for i := range ws {
+		ws[i] = benchWorkload
+		ws[i].Images = int64(16*1024) << (i % 4)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.ResetCaches()
+		if _, err := core.RunMany(ctx, ws); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a stable JSON baseline on stdout, so benchmark snapshots can be
+// committed and diffed (`make bench-json` writes BENCH_<date>.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkCoreRun' -benchmem . | benchjson -date 2026-08-06
+//
+// Only benchmark result lines are parsed; everything else (goos/pkg
+// headers, PASS, logs) is carried into no field and ignored. Each line
+//
+//	BenchmarkCoreRunWarm-8  204933  5773 ns/op  3592 B/op  45 allocs/op
+//
+// becomes {"name":"CoreRunWarm","iterations":204933,"nsPerOp":5773,...};
+// extra custom metrics (e.g. "0.95 cache-hit-ratio") land in "metrics".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  int64              `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64              `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the committed file shape.
+type Baseline struct {
+	Date       string   `json:"date,omitempty"`
+	Go         string   `json:"go,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	date := flag.String("date", "", "snapshot date stamped into the output")
+	flag.Parse()
+
+	base := Baseline{Date: *date}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				base.Benchmarks = append(base.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(base.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one result line: a name, an iteration count, then
+// value/unit pairs.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	// Strip the trailing -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, r.NsPerOp > 0
+}

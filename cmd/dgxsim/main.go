@@ -61,7 +61,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		p, n := reps[core.P2P], reps[core.NCCL]
+		var p, n *core.Report
+		for _, mr := range reps {
+			switch mr.Method {
+			case core.P2P:
+				p = mr.Report
+			case core.NCCL:
+				n = mr.Report
+			}
+		}
 		fmt.Println(p.Summary())
 		fmt.Println(n.Summary())
 		ratio := p.EpochTime.Seconds() / n.EpochTime.Seconds()

@@ -9,7 +9,11 @@
 //
 //	curl -s localhost:8080/v1/simulate -d '{"Model":"resnet","GPUs":4,"Batch":32}'
 //	curl -s localhost:8080/v1/sweep -d '{"Models":["lenet","alexnet"],"GPUs":[1,2,4,8],"Batches":[16],"Methods":["p2p","nccl"]}'
+//	curl -s localhost:8080/v1/validate -d '{"Model":"resnet","GPUs":16,"Batch":32}'
 //	curl -s localhost:8080/metrics
+//
+// Request and response bodies carry a schemaVersion field (currently 1);
+// requests may omit it, and any other value is rejected with 400.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests finish
 // (bounded by -drain), then the worker pool is released.

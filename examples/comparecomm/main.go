@@ -24,8 +24,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			p := reports[core.P2P].EpochTime
-			n := reports[core.NCCL].EpochTime
+			// Compare returns P2P first, then NCCL.
+			p := reports[0].Report.EpochTime
+			n := reports[1].Report.EpochTime
 			winner := "p2p"
 			ratio := float64(n) / float64(p)
 			if n < p {

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// reportJSON marshals a report the way every consumer sees it.
+func reportJSON(t *testing.T, r *Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestColdWarmByteIdentical is the artifact layer's core guarantee: for
+// every zoo model, a run served from the compiled-window cache is
+// byte-identical to a cold run of the same workload.
+func TestColdWarmByteIdentical(t *testing.T) {
+	for _, model := range Models() {
+		t.Run(model, func(t *testing.T) {
+			w := Workload{Model: model, GPUs: 2, Batch: 16, Images: 8192}
+			ResetCaches()
+			cold, err := Run(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := Run(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cj, wj := reportJSON(t, cold), reportJSON(t, warm)
+			if string(cj) != string(wj) {
+				t.Errorf("warm report differs from cold:\ncold: %s\nwarm: %s", cj, wj)
+			}
+		})
+	}
+}
+
+// TestWindowSharedAcrossImages pins the subtler half of the guarantee:
+// two workloads differing only in dataset size share one compiled window
+// (the window depends on Images only through the simulated iteration
+// count), and the shared-window run is still byte-identical to its own
+// cold run.
+func TestWindowSharedAcrossImages(t *testing.T) {
+	small := Workload{Model: "alexnet", GPUs: 4, Batch: 32, Images: 64 * 1024}
+	large := Workload{Model: "alexnet", GPUs: 4, Batch: 32, Images: 256 * 1024}
+
+	ResetCaches()
+	coldLarge, err := Run(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldLargeJSON := reportJSON(t, coldLarge)
+
+	// Fresh caches, opposite order: compile via the small epoch, then
+	// serve the large epoch from the small epoch's window.
+	ResetCaches()
+	if _, err := Run(small); err != nil {
+		t.Fatal(err)
+	}
+	if kS, kL := artifactKey(small.Normalize()), artifactKey(large.Normalize()); kS != kL {
+		t.Fatalf("images-only variants should share an artifact key: %q vs %q", kS, kL)
+	}
+	warmLarge, err := Run(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, warmLarge); string(got) != string(coldLargeJSON) {
+		t.Errorf("large epoch served from the small epoch's window differs from its cold run:\ncold: %s\nwarm: %s",
+			coldLargeJSON, got)
+	}
+}
+
+// TestTinyEpochGetsOwnWindow guards the key's iteration suffix: an epoch
+// smaller than the simulated window compiles its own artifact instead of
+// borrowing (and mis-extrapolating) a full-size one.
+func TestTinyEpochGetsOwnWindow(t *testing.T) {
+	full := Workload{Model: "lenet", GPUs: 2, Batch: 16, Images: 8192}
+	tiny := Workload{Model: "lenet", GPUs: 2, Batch: 16, Images: 32} // 1 iteration
+	if kF, kT := artifactKey(full.Normalize()), artifactKey(tiny.Normalize()); kF == kT {
+		t.Fatalf("full and tiny epochs must not share artifact key %q", kF)
+	}
+	ResetCaches()
+	coldTiny, err := Run(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTinyJSON := reportJSON(t, coldTiny)
+
+	ResetCaches()
+	if _, err := Run(full); err != nil {
+		t.Fatal(err)
+	}
+	warmTiny, err := Run(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, warmTiny); string(got) != string(coldTinyJSON) {
+		t.Errorf("tiny epoch after full epoch differs from its cold run:\ncold: %s\ngot: %s", coldTinyJSON, got)
+	}
+}
+
+// TestCacheConcurrency hammers the artifact cache from NumCPU goroutines
+// starting cold, so the compile-once gate, the plan cache, and the model
+// zoo memo all race on first touch. Run with -race; every result must
+// match the sequential reference bytes.
+func TestCacheConcurrency(t *testing.T) {
+	workloads := []Workload{
+		{Model: "lenet", GPUs: 2, Batch: 16, Images: 8192},
+		{Model: "alexnet", GPUs: 4, Batch: 32, Images: 8192},
+		{Model: "resnet", GPUs: 2, Batch: 16, Images: 8192},
+		{Model: "resnet", GPUs: 2, Batch: 16, Images: 16384}, // shares resnet's window
+	}
+	refs := make([]string, len(workloads))
+	for i, w := range workloads {
+		ResetCaches()
+		r, err := Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = string(reportJSON(t, r))
+	}
+
+	ResetCaches()
+	n := runtime.NumCPU()
+	if n < 4 {
+		n = 4
+	}
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, n*rounds*len(workloads))
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				// Stagger the order per goroutine so different keys race.
+				for off := 0; off < len(workloads); off++ {
+					i := (g + round + off) % len(workloads)
+					r, err := Run(workloads[i])
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					b, err := json.Marshal(r)
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					if string(b) != refs[i] {
+						errs <- "concurrent report diverged from sequential reference for " + workloads[i].Model
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestRunMany pins the batch entry point: reports align with the input
+// slice and match individual Run calls byte for byte.
+func TestRunMany(t *testing.T) {
+	ws := []Workload{
+		{Model: "lenet", GPUs: 2, Batch: 16, Images: 8192},
+		{Model: "alexnet", GPUs: 2, Batch: 16, Images: 8192},
+		{Model: "lenet", GPUs: 2, Batch: 16, Images: 8192}, // repeat: warm hit
+	}
+	reps, err := RunMany(context.Background(), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(ws) {
+		t.Fatalf("got %d reports for %d workloads", len(reps), len(ws))
+	}
+	for i, w := range ws {
+		single, err := Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := string(reportJSON(t, reps[i])), string(reportJSON(t, single)); got != want {
+			t.Errorf("workload %d: RunMany report differs from Run", i)
+		}
+	}
+}
+
+func TestRunManyErrors(t *testing.T) {
+	_, err := RunMany(context.Background(), []Workload{
+		{Model: "lenet", GPUs: 2, Batch: 16},
+		{Model: "bogus", GPUs: 2, Batch: 16},
+	})
+	if err == nil {
+		t.Fatal("expected an error for the bogus model")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunMany(ctx, []Workload{{Model: "lenet", GPUs: 1, Batch: 16}}); err != context.Canceled {
+		t.Fatalf("cancelled RunMany = %v, want context.Canceled", err)
+	}
+}
+
+// TestCacheEviction bounds the FIFO cache: old entries leave, and an
+// evicted configuration recompiles correctly.
+func TestCacheEviction(t *testing.T) {
+	c := newArtifactCache(2)
+	a := c.entry("a")
+	c.entry("b")
+	c.entry("c") // evicts a
+	if got := c.entry("a"); got == a {
+		t.Error("evicted entry was resurrected instead of recreated")
+	}
+	if len(c.entries) > 2 {
+		t.Errorf("cache holds %d entries, limit 2", len(c.entries))
+	}
+}

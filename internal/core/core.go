@@ -21,8 +21,6 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/models"
 	"repro/internal/profiler"
-	"repro/internal/train"
-	"repro/internal/units"
 )
 
 // Method names a communication method.
@@ -110,45 +108,19 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// Run simulates one epoch of the workload.
+// Run simulates one epoch of the workload. The first run of a
+// configuration compiles it — builds the model graph and kernel plans and
+// simulates the steady-state window — and memoizes the compiled artifact;
+// repeat runs (any entry point, any Images value sharing the window)
+// reuse it and only redo the extrapolation arithmetic, producing
+// byte-identical reports. The echoed Report.Workload is normalized
+// (explicit Method and Images).
 func Run(w Workload) (*Report, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	if w.Method == "" {
-		w.Method = NCCL
-	}
-	cfg, err := train.NewConfig(w.Model, w.GPUs, w.Batch, w.Method)
-	if err != nil {
-		return nil, err
-	}
-	if w.Images > 0 {
-		cfg.Images = w.Images
-	}
-	if w.WeakScaling {
-		cfg.Images *= int64(w.GPUs)
-	}
-	cfg.TensorCores = !w.DisableTensorCores
-	cfg.Async = w.Async
-	if w.ModelParallel {
-		cfg.Parallelism = train.ModelParallel
-		cfg.MicroBatches = w.MicroBatches
-	}
-	if w.HybridOWT {
-		cfg.Parallelism = train.HybridOWT
-	}
-	cfg.NCCLTree = w.NCCLTree
-	if w.BucketKB > 0 {
-		cfg.BucketBytes = units.Bytes(w.BucketKB) * units.KB
-	}
-	cfg.Checkpointing = w.Checkpointing
-	cfg.Winograd = w.Winograd
-	cfg.DetailIntervals = w.TraceIntervals
-	tr, err := train.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := tr.Run()
+	w = w.Normalize()
+	res, err := simulate(w)
 	if err != nil {
 		return nil, err
 	}
@@ -165,6 +137,27 @@ func Run(w Workload) (*Report, error) {
 		ComputeUtilization: res.ComputeUtilization,
 		Profile:            res.Profile,
 	}, nil
+}
+
+// RunMany simulates the workloads in order, sharing compiled artifacts
+// across them — a sweep over Images, or repeated configurations, compiles
+// each distinct window once. It stops at the first error (annotated with
+// the workload's index) or when the context is done. Reports align with
+// ws. Callers wanting bounded parallel fan-out use the service pool; the
+// artifact cache is concurrency-safe either way.
+func RunMany(ctx context.Context, ws []Workload) ([]*Report, error) {
+	out := make([]*Report, len(ws))
+	for i, w := range ws {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := Run(w)
+		if err != nil {
+			return nil, fmt.Errorf("core: workload %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
 }
 
 // RunContext simulates one epoch of the workload, honouring cancellation
@@ -193,10 +186,19 @@ func RunContext(ctx context.Context, w Workload) (*Report, error) {
 	}
 }
 
+// MethodReport pairs one communication method with its report, in
+// Compare's fixed order.
+type MethodReport struct {
+	Method Method  `json:"method"`
+	Report *Report `json:"report"`
+}
+
 // Compare runs the workload under both communication methods and returns
-// the reports keyed by method.
-func Compare(w Workload) (map[Method]*Report, error) {
-	out := make(map[Method]*Report, 2)
+// the reports in a fixed order: P2P first, then NCCL. (An earlier version
+// returned a map, whose iteration order leaked nondeterminism into JSON
+// encodings and ranges over the result.)
+func Compare(w Workload) ([]MethodReport, error) {
+	out := make([]MethodReport, 0, 2)
 	for _, m := range []Method{P2P, NCCL} {
 		wm := w
 		wm.Method = m
@@ -204,7 +206,7 @@ func Compare(w Workload) (map[Method]*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", m, err)
 		}
-		out[m] = r
+		out = append(out, MethodReport{Method: m, Report: r})
 	}
 	return out, nil
 }
@@ -219,13 +221,25 @@ func Describe(model string) (models.Description, error) {
 
 // LayerProfile returns the analytical per-layer FP/BP characterization of
 // a model at a batch size on the default V100 (the layer-by-layer view of
-// the profiling work the paper cites).
+// the profiling work the paper cites). Characterizations are memoized per
+// (model, batch); the returned slice is a fresh copy the caller may sort
+// or modify.
 func LayerProfile(model string, batch int) ([]dnn.LayerStat, error) {
-	d, err := models.ByName(model)
-	if err != nil {
-		return nil, err
+	key := layerStatKey{model: model, batch: batch}
+	layerStats.mu.Lock()
+	cached, ok := layerStats.m[key]
+	layerStats.mu.Unlock()
+	if !ok {
+		d, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		cached = dnn.ProfileLayers(d.Net, batch, gpu.V100(), dnn.PlanOptions{TensorCores: true})
+		layerStats.mu.Lock()
+		layerStats.m[key] = cached
+		layerStats.mu.Unlock()
 	}
-	return dnn.ProfileLayers(d.Net, batch, gpu.V100(), dnn.PlanOptions{TensorCores: true}), nil
+	return append([]dnn.LayerStat(nil), cached...), nil
 }
 
 // EstimateMemory returns the per-GPU memory estimate without running a

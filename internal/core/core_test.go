@@ -45,11 +45,15 @@ func TestCompare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 2 || reps[P2P] == nil || reps[NCCL] == nil {
+	if len(reps) != 2 || reps[0].Report == nil || reps[1].Report == nil {
 		t.Fatal("compare should return both methods")
 	}
+	// The order is part of the API: P2P first, then NCCL.
+	if reps[0].Method != P2P || reps[1].Method != NCCL {
+		t.Fatalf("compare order = [%s %s], want [p2p nccl]", reps[0].Method, reps[1].Method)
+	}
 	// The paper's finding for LeNet: P2P wins.
-	if reps[P2P].EpochTime >= reps[NCCL].EpochTime {
+	if reps[0].Report.EpochTime >= reps[1].Report.EpochTime {
 		t.Error("P2P should beat NCCL for LeNet")
 	}
 }

@@ -31,7 +31,8 @@ func ExampleCompare() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if reports[core.P2P].EpochTime < reports[core.NCCL].EpochTime {
+	// Compare orders its reports P2P first, then NCCL.
+	if reports[0].Report.EpochTime < reports[1].Report.EpochTime {
 		fmt.Println("P2P wins for LeNet")
 	} else {
 		fmt.Println("NCCL wins for LeNet")

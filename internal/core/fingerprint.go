@@ -5,14 +5,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-
-	"repro/internal/data"
 )
 
 // Fingerprint returns a deterministic key identifying the simulation a
 // workload describes. Workloads that Run treats identically map to the
-// same key: the zero Method canonicalizes to NCCL and zero Images to the
-// paper's dataset size before hashing.
+// same key: the struct is canonicalized through Normalize (zero Method
+// becomes NCCL, zero Images the paper's dataset size) before hashing.
 //
 // The hash covers the canonical JSON encoding of the whole struct, so
 // any exported field added to Workload automatically perturbs the key —
@@ -22,14 +20,7 @@ import (
 // The simulator is fully deterministic (seeded jitter), which makes
 // memoization by fingerprint exact, not approximate.
 func (w Workload) Fingerprint() string {
-	c := w
-	if c.Method == "" {
-		c.Method = NCCL
-	}
-	if c.Images == 0 {
-		c.Images = data.PaperDatasetImages
-	}
-	b, err := json.Marshal(c)
+	b, err := json.Marshal(w.Normalize())
 	if err != nil {
 		// Workload is a plain struct of scalars; Marshal cannot fail.
 		panic(fmt.Sprintf("core: marshal workload: %v", err))

@@ -1,0 +1,24 @@
+package core
+
+import "repro/internal/data"
+
+// Normalize returns the workload with its defaulted fields made explicit:
+// a zero Method becomes NCCL and zero Images becomes the paper's 256K
+// dataset. Run, Fingerprint, and the service result cache all canonicalize
+// through this one function, so "the same workload spelled differently"
+// cannot diverge between entry points — two requests that Run treats
+// identically normalize to identical structs, fingerprint to the same key,
+// and echo the same workload in their reports.
+//
+// Normalize is idempotent and leaves every other field untouched; in
+// particular WeakScaling stays a flag (the dataset multiplication happens
+// at simulation time, so the flag remains visible in reports).
+func (w Workload) Normalize() Workload {
+	if w.Method == "" {
+		w.Method = NCCL
+	}
+	if w.Images == 0 {
+		w.Images = data.PaperDatasetImages
+	}
+	return w
+}

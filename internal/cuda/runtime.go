@@ -48,6 +48,26 @@ func DefaultCosts() Costs {
 	}
 }
 
+// deviceNames interns the per-device profile labels. Every kernel launch,
+// API call, and transfer records one of these strings; formatting them per
+// call used to dominate the simulation's allocation profile, so they are
+// built once per device at runtime construction.
+type deviceNames struct {
+	host, engine  string // host-thread tracks
+	compute, comm string // device-queue tracks
+	memcpyHtoD    string // "memcpyHtoD ->N"
+	xferHtoD      string // "xfer H->N"
+	memcpyDtoH    string // "memcpyDtoH N->"
+	xferDtoH      string // "xfer N->H"
+}
+
+// peerNames interns the labels of one src->dst peer-copy direction,
+// created lazily on first use (runtimes are per-run and single-threaded).
+type peerNames struct {
+	memcpy string // "memcpyP2P S->D"
+	xfer   string // "xfer S->D"
+}
+
 // Runtime binds devices, host threads, the fabric, and a profile.
 type Runtime struct {
 	eng     *sim.Engine
@@ -59,6 +79,8 @@ type Runtime struct {
 	costs   Costs
 	policy  topology.RoutePolicy
 	cpuRes  map[string]*sim.Resource
+	names   map[topology.NodeID]*deviceNames
+	peers   map[[2]topology.NodeID]*peerNames
 }
 
 // NewRuntime creates devices and host threads for the listed GPUs. prof may
@@ -73,6 +95,7 @@ func NewRuntime(fabric *interconnect.Fabric, spec gpu.Spec, gpus []topology.Node
 		prof:    prof,
 		costs:   costs,
 		policy:  topology.RouteStagedNVLink,
+		names:   make(map[topology.NodeID]*deviceNames),
 	}
 	for _, id := range gpus {
 		n, err := fabric.Topology().Node(id)
@@ -82,12 +105,45 @@ func NewRuntime(fabric *interconnect.Fabric, spec gpu.Spec, gpus []topology.Node
 		if n.Kind != topology.GPU {
 			return nil, fmt.Errorf("cuda: node %d is a %s, not a GPU", id, n.Kind)
 		}
+		rt.names[id] = &deviceNames{
+			host:       fmt.Sprintf("GPU%d/host", id),
+			engine:     fmt.Sprintf("GPU%d/engine", id),
+			compute:    fmt.Sprintf("GPU%d/compute", id),
+			comm:       fmt.Sprintf("GPU%d/comm", id),
+			memcpyHtoD: fmt.Sprintf("memcpyHtoD ->%d", id),
+			xferHtoD:   fmt.Sprintf("xfer H->%d", id),
+			memcpyDtoH: fmt.Sprintf("memcpyDtoH %d->", id),
+			xferDtoH:   fmt.Sprintf("xfer %d->H", id),
+		}
 		rt.devices[id] = gpu.NewDevice(rt.eng, id, spec)
-		rt.hosts[id] = sim.NewResource(rt.eng, fmt.Sprintf("GPU%d/host", id))
-		rt.engines[id] = sim.NewResource(rt.eng, fmt.Sprintf("GPU%d/engine", id))
+		rt.hosts[id] = sim.NewResource(rt.eng, rt.names[id].host)
+		rt.engines[id] = sim.NewResource(rt.eng, rt.names[id].engine)
 	}
 	return rt, nil
 }
+
+// peerName returns the interned labels for one src->dst copy direction.
+func (rt *Runtime) peerName(src, dst topology.NodeID) *peerNames {
+	key := [2]topology.NodeID{src, dst}
+	if p := rt.peers[key]; p != nil {
+		return p
+	}
+	if rt.peers == nil {
+		rt.peers = make(map[[2]topology.NodeID]*peerNames)
+	}
+	p := &peerNames{
+		memcpy: fmt.Sprintf("memcpyP2P %d->%d", src, dst),
+		xfer:   fmt.Sprintf("xfer %d->%d", src, dst),
+	}
+	rt.peers[key] = p
+	return p
+}
+
+// TrackCompute returns the interned compute-queue track label of a device.
+func (rt *Runtime) TrackCompute(id topology.NodeID) string { return rt.names[id].compute }
+
+// TrackComm returns the interned communication-queue track label of a device.
+func (rt *Runtime) TrackComm(id topology.NodeID) string { return rt.names[id].comm }
 
 // SetRoutePolicy selects how peer copies without a direct NVLink are routed
 // (staged NVLink by default; PCIe fallback reproduces naive behaviour).
@@ -129,9 +185,9 @@ func (rt *Runtime) record(iv profiler.Interval) {
 // selects the latter, so communication issue does not serialize behind the
 // launch loop.
 func (rt *Runtime) hostCall(dev topology.NodeID, api string, stage profiler.Stage, ready time.Duration, dur time.Duration, engine bool) (start, end time.Duration) {
-	res, track := rt.hosts[dev], fmt.Sprintf("GPU%d/host", dev)
+	res, track := rt.hosts[dev], rt.names[dev].host
 	if engine {
-		res, track = rt.engines[dev], fmt.Sprintf("GPU%d/engine", dev)
+		res, track = rt.engines[dev], rt.names[dev].engine
 	}
 	start, end = res.Book(ready, dur)
 	rt.record(profiler.Interval{
@@ -195,9 +251,9 @@ func (s *Stream) Launch(stage profiler.Stage, c gpu.KernelCost, hostReady time.D
 	} else {
 		start, end = s.dev.BookKernel(ready, c)
 	}
-	track := fmt.Sprintf("GPU%d/compute", s.dev.ID)
+	track := s.rt.names[s.dev.ID].compute
 	if s.comm {
-		track = fmt.Sprintf("GPU%d/comm", s.dev.ID)
+		track = s.rt.names[s.dev.ID].comm
 	}
 	s.rt.record(profiler.Interval{
 		Kind: profiler.KindKernel, Name: c.Name, Stage: stage,
@@ -225,7 +281,7 @@ func (s *Stream) LaunchTimed(stage profiler.Stage, name string, dur time.Duratio
 	} else {
 		start, end = s.dev.BookDMA(ready, dur) // non-comm timed ops are copies
 	}
-	track := fmt.Sprintf("GPU%d/comm", s.dev.ID)
+	track := s.rt.names[s.dev.ID].comm
 	s.rt.record(profiler.Interval{
 		Kind: profiler.KindKernel, Name: name, Stage: stage,
 		Track: track, Start: start, End: end,
@@ -263,7 +319,7 @@ func (s *Stream) Extend(stage profiler.Stage, name string, ready, until time.Dur
 	}
 	s.rt.record(profiler.Interval{
 		Kind: profiler.KindKernel, Name: name, Stage: stage,
-		Track: fmt.Sprintf("GPU%d/comm", s.dev.ID), Start: bs, End: be,
+		Track: s.rt.names[s.dev.ID].comm, Start: bs, End: be,
 	})
 	s.tail = be
 	return be
@@ -279,9 +335,9 @@ func (s *Stream) Synchronize(stage profiler.Stage, hostReady time.Duration) time
 		wait = hostReady
 	}
 	dur := wait - hostReady + s.rt.costs.StreamSyncOverhead
-	res, track := s.rt.hosts[s.dev.ID], fmt.Sprintf("GPU%d/host", s.dev.ID)
+	res, track := s.rt.hosts[s.dev.ID], s.rt.names[s.dev.ID].host
 	if s.comm {
-		res, track = s.rt.engines[s.dev.ID], fmt.Sprintf("GPU%d/engine", s.dev.ID)
+		res, track = s.rt.engines[s.dev.ID], s.rt.names[s.dev.ID].engine
 	}
 	start, end := res.Book(hostReady, dur)
 	s.rt.record(profiler.Interval{
@@ -304,7 +360,7 @@ func (rt *Runtime) HostWait(dev topology.NodeID, stage profiler.Stage, hostReady
 	start, end := rt.hosts[dev].Book(hostReady, dur)
 	rt.record(profiler.Interval{
 		Kind: profiler.KindAPI, Name: APIStreamSync, Stage: stage,
-		Track: fmt.Sprintf("GPU%d/host", dev), Start: start, End: end,
+		Track: rt.names[dev].host, Start: start, End: end,
 	})
 	return end
 }
@@ -339,9 +395,10 @@ func (rt *Runtime) MemcpyPeer(dst, src topology.NodeID, size units.Bytes, stage 
 			end = dmaEnd
 		}
 	}
+	pn := rt.peerName(src, dst)
 	rt.record(profiler.Interval{
-		Kind: profiler.KindTransfer, Name: fmt.Sprintf("memcpyP2P %d->%d", src, dst),
-		Stage: stage, Track: fmt.Sprintf("xfer %d->%d", src, dst),
+		Kind: profiler.KindTransfer, Name: pn.memcpy,
+		Stage: stage, Track: pn.xfer,
 		Start: start, End: end,
 	})
 	return hostDone, end, nil
@@ -363,8 +420,8 @@ func (rt *Runtime) MemcpyHostToDevice(dst topology.NodeID, size units.Bytes, sta
 	_, hostDone = rt.hostCall(dst, APIMemcpyAsync, stage, hostReady, rt.costs.MemcpyAsync, true)
 	start, end := rt.fabric.Book(path, size, hostDone)
 	rt.record(profiler.Interval{
-		Kind: profiler.KindTransfer, Name: fmt.Sprintf("memcpyHtoD ->%d", dst),
-		Stage: stage, Track: fmt.Sprintf("xfer H->%d", dst),
+		Kind: profiler.KindTransfer, Name: rt.names[dst].memcpyHtoD,
+		Stage: stage, Track: rt.names[dst].xferHtoD,
 		Start: start, End: end,
 	})
 	return hostDone, end, nil
@@ -390,8 +447,8 @@ func (rt *Runtime) MemcpyDeviceToHost(src topology.NodeID, size units.Bytes, sta
 	}
 	start, end := rt.fabric.Book(path, size, ready)
 	rt.record(profiler.Interval{
-		Kind: profiler.KindTransfer, Name: fmt.Sprintf("memcpyDtoH %d->", src),
-		Stage: stage, Track: fmt.Sprintf("xfer %d->H", src),
+		Kind: profiler.KindTransfer, Name: rt.names[src].memcpyDtoH,
+		Stage: stage, Track: rt.names[src].xferDtoH,
 		Start: start, End: end,
 	})
 	return hostDone, end, nil

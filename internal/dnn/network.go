@@ -3,6 +3,7 @@ package dnn
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/units"
 )
@@ -35,10 +36,17 @@ func (n *Node) InputBytesPerImage() units.Bytes {
 	return b
 }
 
-// Network is a built, shape-checked DAG in topological order.
+// Network is a built, shape-checked DAG in topological order. The node
+// graph is immutable after Finish; lowered kernel plans are memoized per
+// (batch, options) under planMu, so a network shared across goroutines
+// (the model zoo hands out one instance per model) compiles each plan
+// once.
 type Network struct {
 	Name  string
 	nodes []*Node
+
+	planMu sync.Mutex
+	plans  map[planKey]*compiledPlans
 }
 
 // Builder constructs networks. All add methods panic on structural errors

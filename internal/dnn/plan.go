@@ -81,12 +81,52 @@ func forwardKernel(n *Node, batch int, opt PlanOptions) gpu.KernelCost {
 	return c
 }
 
-// ForwardPlan lowers the network's forward pass for one mini-batch into an
-// ordered kernel sequence (input and zero-cost reshape nodes emit nothing).
-func (n *Network) ForwardPlan(batch int, opt PlanOptions) []gpu.KernelCost {
+// planKey identifies one memoized lowering of a network.
+type planKey struct {
+	batch int
+	opt   PlanOptions
+}
+
+// compiledPlans is one memoized lowering: the forward kernel sequence and
+// the backward steps for a (batch, options) pair.
+type compiledPlans struct {
+	fwd []gpu.KernelCost
+	bwd []BackwardStep
+}
+
+// compiled returns the memoized plans for a batch size and option set,
+// lowering them on first use. The returned plans are shared — callers
+// must treat the slices and the steps they contain as read-only (the
+// trainer copies kernels by value when it needs to relabel them).
+func (n *Network) compiled(batch int, opt PlanOptions) *compiledPlans {
 	if batch <= 0 {
 		panic(fmt.Sprintf("dnn: bad batch size %d", batch))
 	}
+	key := planKey{batch: batch, opt: opt}
+	n.planMu.Lock()
+	defer n.planMu.Unlock()
+	if p, ok := n.plans[key]; ok {
+		return p
+	}
+	p := &compiledPlans{
+		fwd: n.lowerForward(batch, opt),
+		bwd: n.lowerBackward(batch, opt),
+	}
+	if n.plans == nil {
+		n.plans = make(map[planKey]*compiledPlans)
+	}
+	n.plans[key] = p
+	return p
+}
+
+// ForwardPlan lowers the network's forward pass for one mini-batch into an
+// ordered kernel sequence (input and zero-cost reshape nodes emit nothing).
+// The plan is memoized per (batch, options); treat it as read-only.
+func (n *Network) ForwardPlan(batch int, opt PlanOptions) []gpu.KernelCost {
+	return n.compiled(batch, opt).fwd
+}
+
+func (n *Network) lowerForward(batch int, opt PlanOptions) []gpu.KernelCost {
 	var plan []gpu.KernelCost
 	for _, nd := range n.nodes {
 		switch nd.Op.Kind() {
@@ -110,10 +150,12 @@ type BackwardStep struct {
 }
 
 // BackwardPlan lowers the backward pass in reverse topological order.
+// The plan is memoized per (batch, options); treat it as read-only.
 func (n *Network) BackwardPlan(batch int, opt PlanOptions) []BackwardStep {
-	if batch <= 0 {
-		panic(fmt.Sprintf("dnn: bad batch size %d", batch))
-	}
+	return n.compiled(batch, opt).bwd
+}
+
+func (n *Network) lowerBackward(batch int, opt PlanOptions) []BackwardStep {
 	b := int64(batch)
 	var steps []BackwardStep
 	for i := len(n.nodes) - 1; i >= 0; i-- {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/kvstore"
 	"repro/internal/report"
@@ -115,18 +116,11 @@ func parMap[T any](opt Options, n int, fn func(i int) (T, error)) ([]T, error) {
 	return service.MapIndexed(context.Background(), p, n, fn)
 }
 
-// runOne simulates a single configuration.
+// runOne simulates a single configuration through the core artifact
+// layer, so a sweep revisiting a configuration (or only varying the
+// dataset size) reuses its compiled window instead of re-simulating it.
 func runOne(model string, gpus, batch int, method kvstore.Method, images int64) (*train.Result, error) {
-	cfg, err := train.NewConfig(model, gpus, batch, method)
-	if err != nil {
-		return nil, err
-	}
-	cfg.Images = images
-	tr, err := train.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return tr.Run()
+	return core.Simulate(core.Workload{Model: model, GPUs: gpus, Batch: batch, Method: method, Images: images})
 }
 
 // measured is one configuration's repeated-run summary.

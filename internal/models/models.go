@@ -8,6 +8,7 @@ package models
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/dnn"
 )
@@ -49,8 +50,25 @@ func Names() []string {
 	return []string{"lenet", "alexnet", "resnet", "googlenet", "inception-v3"}
 }
 
-// ByName builds the named model. Valid names are those returned by Names.
+// built memoizes constructed Descriptions: the network graph, shape
+// inference, and derived counts are identical on every build, so each zoo
+// entry is compiled once per process and shared. Descriptions (and the
+// *dnn.Network they carry) are immutable after construction — callers
+// treat them as read-only.
+var (
+	builtMu sync.Mutex
+	built   = map[string]Description{}
+)
+
+// ByName returns the named model, building it on first use and serving
+// the memoized Description afterwards. Valid names are those returned by
+// Names.
 func ByName(name string) (Description, error) {
+	builtMu.Lock()
+	defer builtMu.Unlock()
+	if d, ok := built[name]; ok {
+		return d, nil
+	}
 	b, ok := zoo[name]
 	if !ok {
 		known := make([]string, 0, len(zoo))
@@ -60,7 +78,17 @@ func ByName(name string) (Description, error) {
 		sort.Strings(known)
 		return Description{}, fmt.Errorf("models: unknown model %q (have %v)", name, known)
 	}
-	return b(), nil
+	d := b()
+	built[name] = d
+	return d, nil
+}
+
+// ResetCache drops the memoized zoo so the next ByName rebuilds from
+// scratch. Only benchmarks and tests measuring the cold path need it.
+func ResetCache() {
+	builtMu.Lock()
+	defer builtMu.Unlock()
+	built = map[string]Description{}
 }
 
 // All builds every model in presentation order.

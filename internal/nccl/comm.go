@@ -88,6 +88,10 @@ type Communicator struct {
 	// is booked per routed hop in hopPaths).
 	hopLinks [][]*topology.Link
 	hopPaths [][]topology.Path
+	// avail is per-collective scratch (rank availability times), reused
+	// across calls — a communicator issues thousands of collectives per
+	// simulated epoch and is single-threaded within its run.
+	avail []time.Duration
 }
 
 // New builds a communicator over the devices, constructing NVLink rings
@@ -233,7 +237,10 @@ func (c *Communicator) run(stage profiler.Stage, kernel string, ready time.Durat
 		return s.Extend(stage, kernel, start, start+c.cfg.KernelOverhead+wire)
 	}
 	global := ready
-	avail := make([]time.Duration, len(c.devs))
+	if cap(c.avail) < len(c.devs) {
+		c.avail = make([]time.Duration, len(c.devs))
+	}
+	avail := c.avail[:len(c.devs)]
 	for i, d := range c.devs {
 		s := c.streams[d]
 		hostDone := s.HostLaunch(stage, ready)

@@ -99,13 +99,18 @@ func (s Stat) Mean() time.Duration {
 	return s.Total / time.Duration(s.Calls)
 }
 
+// numStages is the number of defined Stage values; stage accounting uses
+// fixed arrays indexed by Stage, keeping Record free of map overhead on
+// the simulation hot path.
+const numStages = int(StageDataLoad) + 1
+
 // Profile accumulates statistics for one run.
 type Profile struct {
 	api       map[string]*Stat
 	kernels   map[string]*Stat
 	transfers map[string]*Stat
-	stageBusy map[Stage]time.Duration // summed busy time attributed to each stage
-	stageWall map[Stage]time.Duration // wall-clock windows set by the trainer
+	stageBusy [numStages]time.Duration // summed busy time attributed to each stage
+	stageWall [numStages]time.Duration // wall-clock windows set by the trainer
 
 	detail    bool
 	maxDetail int
@@ -119,8 +124,6 @@ func New() *Profile {
 		api:       make(map[string]*Stat),
 		kernels:   make(map[string]*Stat),
 		transfers: make(map[string]*Stat),
-		stageBusy: make(map[Stage]time.Duration),
-		stageWall: make(map[Stage]time.Duration),
 	}
 }
 
@@ -155,7 +158,9 @@ func (p *Profile) Record(iv Interval) {
 		st.Calls++
 		st.Total += iv.Duration()
 	}
-	p.stageBusy[iv.Stage] += iv.Duration()
+	if s := int(iv.Stage); s >= 0 && s < numStages {
+		p.stageBusy[s] += iv.Duration()
+	}
 	if p.detail {
 		if len(p.intervals) < p.maxDetail {
 			p.intervals = append(p.intervals, iv)
@@ -168,15 +173,27 @@ func (p *Profile) Record(iv Interval) {
 // AddStageWall accumulates wall-clock time attributed to a stage window.
 // The trainer calls this with per-iteration stage spans.
 func (p *Profile) AddStageWall(s Stage, d time.Duration) {
-	p.stageWall[s] += d
+	if i := int(s); i >= 0 && i < numStages {
+		p.stageWall[i] += d
+	}
 }
 
 // StageWall returns the accumulated wall time of a stage.
-func (p *Profile) StageWall(s Stage) time.Duration { return p.stageWall[s] }
+func (p *Profile) StageWall(s Stage) time.Duration {
+	if i := int(s); i >= 0 && i < numStages {
+		return p.stageWall[i]
+	}
+	return 0
+}
 
 // StageBusy returns the summed busy time attributed to a stage across all
 // recorded activities.
-func (p *Profile) StageBusy(s Stage) time.Duration { return p.stageBusy[s] }
+func (p *Profile) StageBusy(s Stage) time.Duration {
+	if i := int(s); i >= 0 && i < numStages {
+		return p.stageBusy[i]
+	}
+	return 0
+}
 
 // API returns the aggregate for one API name (zero Stat if absent).
 func (p *Profile) API(name string) Stat {
@@ -268,12 +285,42 @@ func (p *Profile) Scale(f float64) {
 	scaleMap(p.api)
 	scaleMap(p.kernels)
 	scaleMap(p.transfers)
-	for k, v := range p.stageBusy {
-		p.stageBusy[k] = time.Duration(float64(v) * f)
+	for i := range p.stageBusy {
+		p.stageBusy[i] = time.Duration(float64(p.stageBusy[i]) * f)
 	}
-	for k, v := range p.stageWall {
-		p.stageWall[k] = time.Duration(float64(v) * f)
+	for i := range p.stageWall {
+		p.stageWall[i] = time.Duration(float64(p.stageWall[i]) * f)
 	}
+}
+
+// Clone returns a deep copy of the profile. The compiled-window cache in
+// the training layer keeps one immutable window profile per artifact and
+// clones it for every extrapolated result, so callers can Scale their
+// copy without touching the shared original.
+func (p *Profile) Clone() *Profile {
+	q := &Profile{
+		api:       cloneStats(p.api),
+		kernels:   cloneStats(p.kernels),
+		transfers: cloneStats(p.transfers),
+		stageBusy: p.stageBusy,
+		stageWall: p.stageWall,
+		detail:    p.detail,
+		maxDetail: p.maxDetail,
+		dropped:   p.dropped,
+	}
+	if p.intervals != nil {
+		q.intervals = append([]Interval(nil), p.intervals...)
+	}
+	return q
+}
+
+func cloneStats(m map[string]*Stat) map[string]*Stat {
+	out := make(map[string]*Stat, len(m))
+	for n, s := range m {
+		c := *s
+		out[n] = &c
+	}
+	return out
 }
 
 // Merge adds other's aggregates into p. Detailed intervals are appended up
@@ -293,11 +340,11 @@ func (p *Profile) Merge(other *Profile) {
 	mergeMap(p.api, other.api)
 	mergeMap(p.kernels, other.kernels)
 	mergeMap(p.transfers, other.transfers)
-	for k, v := range other.stageBusy {
-		p.stageBusy[k] += v
+	for i := range other.stageBusy {
+		p.stageBusy[i] += other.stageBusy[i]
 	}
-	for k, v := range other.stageWall {
-		p.stageWall[k] += v
+	for i := range other.stageWall {
+		p.stageWall[i] += other.stageWall[i]
 	}
 	if p.detail {
 		for _, iv := range other.intervals {

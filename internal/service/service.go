@@ -8,13 +8,21 @@
 // Endpoints:
 //
 //	POST /v1/simulate  one core.Workload -> core.Report
-//	POST /v1/compare   one workload under p2p and nccl -> both reports
+//	POST /v1/compare   one workload under p2p and nccl -> ordered reports
+//	                   (p2p first, then nccl)
 //	POST /v1/sweep     a models x gpus x batches x methods grid, fanned
 //	                   out on the pool -> reports in grid order
+//	POST /v1/validate  check a workload without simulating it -> validity,
+//	                   fingerprint, and the normalized workload
 //	GET  /v1/models    the model zoo
 //	GET  /healthz      liveness probe
 //	GET  /metrics      plain-text counters: requests, latency
 //	                   percentiles, cache hits/misses/evictions, pool depth
+//
+// Every JSON body — request and response — carries a schemaVersion field
+// (currently 1). Requests may omit it (treated as current); any other
+// value is rejected with 400 so old clients fail loudly when the wire
+// format moves, instead of silently misparsing.
 //
 // Everything is stdlib-only: net/http, encoding/json, container/list, sync.
 package service
@@ -66,6 +74,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
 	s.mux.HandleFunc("/v1/compare", s.instrument("/v1/compare", s.handleCompare))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/validate", s.instrument("/v1/validate", s.handleValidate))
 	s.mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -135,13 +144,46 @@ func isBadRequest(err error) bool {
 	return errors.As(err, &bre)
 }
 
-// decodeWorkload parses and validates a request body.
-func decodeWorkload(r *http.Request) (core.Workload, error) {
-	var w core.Workload
+// SchemaVersion is the wire-format version of every request and response
+// body. Requests may omit it (zero means "current"); any other mismatch
+// is a 400.
+const SchemaVersion = 1
+
+// workloadRequest is the versioned /v1/simulate, /v1/compare, and
+// /v1/validate request body: a core.Workload plus schemaVersion.
+type workloadRequest struct {
+	SchemaVersion int `json:"schemaVersion"`
+	core.Workload
+}
+
+// checkSchemaVersion rejects bodies from a different wire format.
+func checkSchemaVersion(v int) error {
+	if v != 0 && v != SchemaVersion {
+		return badRequestError{fmt.Errorf("unsupported schemaVersion %d (this server speaks %d)", v, SchemaVersion)}
+	}
+	return nil
+}
+
+// decodeBody parses a request body without semantic validation (the
+// /v1/validate endpoint reports semantic errors in a 200 body).
+func decodeBody(r *http.Request) (core.Workload, error) {
+	var req workloadRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&w); err != nil {
+	if err := dec.Decode(&req); err != nil {
 		return core.Workload{}, badRequestError{fmt.Errorf("decode workload: %w", err)}
+	}
+	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
+		return core.Workload{}, err
+	}
+	return req.Workload, nil
+}
+
+// decodeWorkload parses and validates a request body.
+func decodeWorkload(r *http.Request) (core.Workload, error) {
+	w, err := decodeBody(r)
+	if err != nil {
+		return core.Workload{}, err
 	}
 	if err := w.Validate(); err != nil {
 		return core.Workload{}, badRequestError{err}
@@ -149,11 +191,18 @@ func decodeWorkload(r *http.Request) (core.Workload, error) {
 	return w, nil
 }
 
+// reportBody is the versioned report envelope: the core.Report fields
+// promoted to the top level plus schemaVersion.
+type reportBody struct {
+	SchemaVersion int `json:"schemaVersion"`
+	*core.Report
+}
+
 // marshalReport is the one serialization every endpoint shares, so a
 // sweep cell is byte-identical to the /v1/simulate response for the
 // same configuration.
 func marshalReport(r *core.Report) ([]byte, error) {
-	return json.Marshal(r)
+	return json.Marshal(reportBody{SchemaVersion: SchemaVersion, Report: r})
 }
 
 func writeJSONBytes(w http.ResponseWriter, b []byte) {
@@ -167,6 +216,11 @@ func writeJSONBytes(w http.ResponseWriter, b []byte) {
 // handler layer, never here (nesting pool waits inside pool tasks would
 // deadlock a full pool).
 func (s *Server) runCached(ctx context.Context, w core.Workload) (*core.Report, bool, error) {
+	// Normalizing before fingerprinting makes spelled-out defaults and
+	// omitted ones share a cache slot (Fingerprint normalizes internally
+	// too; doing it here keeps the cached Report's echoed workload
+	// identical for both spellings).
+	w = w.Normalize()
 	key := w.Fingerprint()
 	if r, ok := s.cache.Get(key); ok {
 		return r, true, nil
@@ -253,11 +307,13 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	out := make(map[core.Method]*core.Report, len(methods))
+	// Results are ordered (p2p first, then nccl), mirroring core.Compare;
+	// the old map-keyed body left the order to encoding/json.
+	results := make([]core.MethodReport, len(methods))
 	for i, m := range methods {
-		out[m] = reps[i]
+		results[i] = core.MethodReport{Method: m, Report: reps[i]}
 	}
-	b, err := json.Marshal(out)
+	b, err := json.Marshal(CompareResponse{SchemaVersion: SchemaVersion, Results: results})
 	if err != nil {
 		httpError(w, err)
 		return
@@ -265,16 +321,24 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	writeJSONBytes(w, b)
 }
 
+// CompareResponse is the /v1/compare body: both methods' reports in
+// core.Compare's fixed order (p2p, then nccl).
+type CompareResponse struct {
+	SchemaVersion int                 `json:"schemaVersion"`
+	Results       []core.MethodReport `json:"results"`
+}
+
 // SweepRequest describes a configuration grid. Axes left empty inherit
 // the base workload's value; the grid expands in models -> gpus ->
 // batches -> methods nesting order, and results come back in exactly
 // that order regardless of which simulations finish first.
 type SweepRequest struct {
-	Base    core.Workload
-	Models  []string
-	GPUs    []int
-	Batches []int
-	Methods []core.Method
+	SchemaVersion int `json:"schemaVersion,omitempty"`
+	Base          core.Workload
+	Models        []string
+	GPUs          []int
+	Batches       []int
+	Methods       []core.Method
 }
 
 // Expand materializes the grid as concrete workloads.
@@ -315,8 +379,9 @@ func (sr SweepRequest) Expand() []core.Workload {
 // body is deterministic across repeats; cache metadata travels in the
 // X-Cache-Hits header and /metrics, not the body.
 type SweepResponse struct {
-	Count   int               `json:"count"`
-	Results []json.RawMessage `json:"results"`
+	SchemaVersion int               `json:"schemaVersion"`
+	Count         int               `json:"count"`
+	Results       []json.RawMessage `json:"results"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -329,6 +394,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		httpError(w, badRequestError{fmt.Errorf("decode sweep: %w", err)})
+		return
+	}
+	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
+		httpError(w, err)
 		return
 	}
 	grid := req.Expand()
@@ -357,12 +426,56 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	b, err := json.Marshal(SweepResponse{Count: len(grid), Results: results})
+	b, err := json.Marshal(SweepResponse{SchemaVersion: SchemaVersion, Count: len(grid), Results: results})
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	w.Header().Set("X-Cache-Hits", fmt.Sprintf("%d", s.cache.Stats().Hits-before))
+	writeJSONBytes(w, b)
+}
+
+// ValidateResponse is the /v1/validate body. A semantically invalid
+// workload is a successful validation (200, Valid false, Error set) —
+// only a malformed request (bad JSON, unknown field, wrong schema
+// version) is a 400. Valid workloads echo back normalized (explicit
+// Method and Images — what Run would simulate and report) plus the
+// fingerprint the result cache would key them under.
+type ValidateResponse struct {
+	SchemaVersion int            `json:"schemaVersion"`
+	Valid         bool           `json:"valid"`
+	Error         string         `json:"error,omitempty"`
+	Fingerprint   string         `json:"fingerprint,omitempty"`
+	Workload      *core.Workload `json:"workload,omitempty"`
+}
+
+// handleValidate checks a workload without simulating it, reusing the
+// exact core.Workload.Validate the simulate/compare/sweep paths run, so
+// a workload this endpoint accepts never fails validation later.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, badRequestError{fmt.Errorf("use POST")})
+		return
+	}
+	wl, err := decodeBody(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	resp := ValidateResponse{SchemaVersion: SchemaVersion}
+	if err := wl.Validate(); err != nil {
+		resp.Error = err.Error()
+	} else {
+		n := wl.Normalize()
+		resp.Valid = true
+		resp.Fingerprint = n.Fingerprint()
+		resp.Workload = &n
+	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
 	writeJSONBytes(w, b)
 }
 
@@ -400,7 +513,10 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			Residual:         d.Residual,
 		})
 	}
-	b, err := json.Marshal(map[string][]ModelInfo{"models": infos})
+	b, err := json.Marshal(struct {
+		SchemaVersion int         `json:"schemaVersion"`
+		Models        []ModelInfo `json:"models"`
+	}{SchemaVersion: SchemaVersion, Models: infos})
 	if err != nil {
 		httpError(w, err)
 		return

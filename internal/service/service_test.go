@@ -190,13 +190,19 @@ func TestCompareEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("compare: %d %s", resp.StatusCode, body)
 	}
-	var out map[core.Method]*core.Report
+	var out CompareResponse
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
-	p, n := out[core.P2P], out[core.NCCL]
+	if out.SchemaVersion != SchemaVersion {
+		t.Errorf("schemaVersion = %d, want %d", out.SchemaVersion, SchemaVersion)
+	}
+	if len(out.Results) != 2 || out.Results[0].Method != core.P2P || out.Results[1].Method != core.NCCL {
+		t.Fatalf("compare must return [p2p nccl] in order, got %+v", out.Results)
+	}
+	p, n := out.Results[0].Report, out.Results[1].Report
 	if p == nil || n == nil {
-		t.Fatalf("compare must return both methods, got %v", out)
+		t.Fatalf("compare must return both reports, got %+v", out.Results)
 	}
 	if p.EpochTime <= 0 || n.EpochTime <= 0 {
 		t.Error("degenerate compare reports")

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestValidateEndpointValid(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/validate", core.Workload{Model: "lenet", GPUs: 4, Batch: 16})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("validate: %d %s", resp.StatusCode, body)
+	}
+	var out ValidateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SchemaVersion != SchemaVersion {
+		t.Errorf("schemaVersion = %d, want %d", out.SchemaVersion, SchemaVersion)
+	}
+	if !out.Valid || out.Error != "" {
+		t.Fatalf("workload should be valid, got %+v", out)
+	}
+	w := core.Workload{Model: "lenet", GPUs: 4, Batch: 16}
+	if out.Fingerprint != w.Fingerprint() {
+		t.Errorf("fingerprint = %s, want %s", out.Fingerprint, w.Fingerprint())
+	}
+	// The echoed workload is normalized: defaults made explicit.
+	if out.Workload == nil || out.Workload.Method != core.NCCL || out.Workload.Images == 0 {
+		t.Errorf("echoed workload should be normalized, got %+v", out.Workload)
+	}
+	// Validation never spends a simulation.
+	if st := svc.PoolStats(); st.Completed != 0 {
+		t.Errorf("%d simulations ran for a validate request", st.Completed)
+	}
+}
+
+func TestValidateEndpointInvalidWorkload(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Semantically invalid (unknown model) is a successful validation.
+	resp, body := post(t, ts.URL+"/v1/validate", core.Workload{Model: "bogus", GPUs: 4, Batch: 16})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("validate: %d %s", resp.StatusCode, body)
+	}
+	var out ValidateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Valid || out.Error == "" || !strings.Contains(out.Error, "bogus") {
+		t.Errorf("expected invalid with an error naming the model, got %+v", out)
+	}
+	if out.Fingerprint != "" || out.Workload != nil {
+		t.Errorf("invalid workloads carry no fingerprint or echo, got %+v", out)
+	}
+}
+
+func TestValidateEndpointMalformed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := post(t, ts.URL+"/v1/validate", map[string]any{"Model": "lenet", "Bogus": 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSchemaVersion(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Current and omitted versions are accepted everywhere.
+	for _, body := range []map[string]any{
+		{"Model": "lenet", "GPUs": 1, "Batch": 16, "Images": 4096},
+		{"schemaVersion": SchemaVersion, "Model": "lenet", "GPUs": 1, "Batch": 16, "Images": 4096},
+	} {
+		resp, b := post(t, ts.URL+"/v1/simulate", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate %v: %d %s", body, resp.StatusCode, b)
+		}
+		var rep struct {
+			SchemaVersion int `json:"schemaVersion"`
+		}
+		if err := json.Unmarshal(b, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.SchemaVersion != SchemaVersion {
+			t.Errorf("response schemaVersion = %d, want %d", rep.SchemaVersion, SchemaVersion)
+		}
+	}
+
+	// A foreign version is a 400 on every versioned endpoint.
+	for _, path := range []string{"/v1/simulate", "/v1/compare", "/v1/validate"} {
+		resp, b := post(t, ts.URL+path, map[string]any{
+			"schemaVersion": SchemaVersion + 1, "Model": "lenet", "GPUs": 1, "Batch": 16,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with foreign schemaVersion: status %d, want 400 (%s)", path, resp.StatusCode, b)
+		}
+	}
+	resp, b := post(t, ts.URL+"/v1/sweep", map[string]any{
+		"schemaVersion": SchemaVersion + 1, "Models": []string{"lenet"},
+		"Base": map[string]any{"GPUs": 1, "Batch": 16},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/v1/sweep with foreign schemaVersion: status %d, want 400 (%s)", resp.StatusCode, b)
+	}
+}
+
+// TestSimulateNormalizedAliasesShareCacheSlot pins runCached's
+// normalization: spelling out the defaults hits the cache entry the
+// omitted-defaults request populated, with byte-identical bodies.
+func TestSimulateNormalizedAliasesShareCacheSlot(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	resp1, body1 := post(t, ts.URL+"/v1/simulate", core.Workload{Model: "lenet", GPUs: 2, Batch: 16})
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d %s", resp1.StatusCode, body1)
+	}
+	explicit := core.Workload{Model: "lenet", GPUs: 2, Batch: 16}.Normalize()
+	resp2, body2 := post(t, ts.URL+"/v1/simulate", explicit)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d %s", resp2.StatusCode, body2)
+	}
+	if resp2.Header.Get("X-Cache") != "HIT" {
+		t.Errorf("explicit-defaults request should hit the implicit-defaults cache entry")
+	}
+	if string(body1) != string(body2) {
+		t.Errorf("aliased requests returned different bodies:\n%s\n%s", body1, body2)
+	}
+	if st := svc.CacheStats(); st.Hits < 1 {
+		t.Errorf("cache hits = %d, want >= 1", st.Hits)
+	}
+}

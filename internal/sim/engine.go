@@ -11,6 +11,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -45,6 +46,14 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) {
 	e.At(e.now+delay, fn)
 }
 
+// eventPool recycles calendar entries across all engines. Simulation
+// schedules millions of events per epoch; pooling them removes the
+// dominant per-event allocation from the hot path. An event is returned
+// to the pool as soon as it is popped (before its callback runs), so a
+// callback that schedules new events may be handed the entry it just
+// vacated — by then the engine holds no reference to it.
+var eventPool = sync.Pool{New: func() any { return new(event) }}
+
 // At runs fn at absolute virtual time t. Scheduling in the past panics:
 // it would silently corrupt causality, and no model code should ever do it.
 func (e *Engine) At(t time.Duration, fn func()) {
@@ -52,7 +61,9 @@ func (e *Engine) At(t time.Duration, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	ev := eventPool.Get().(*event)
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	heap.Push(&e.queue, ev)
 }
 
 // Step executes the next pending event, advancing the clock to its time.
@@ -62,9 +73,12 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.queue).(*event)
-	e.now = ev.at
+	at, fn := ev.at, ev.fn
+	ev.fn = nil // don't retain the closure while pooled
+	eventPool.Put(ev)
+	e.now = at
 	e.nsteps++
-	ev.fn()
+	fn()
 	return true
 }
 

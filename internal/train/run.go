@@ -57,10 +57,10 @@ func (t *Trainer) bookUpdate(ready time.Duration, size units.Bytes) time.Duratio
 	dev := t.rt.Device(root)
 	cost := sgdUpdateCost(size)
 	var ks, end time.Duration
-	track := fmt.Sprintf("GPU%d/compute", root)
+	track := t.rt.TrackCompute(root)
 	if t.backend.Name() == kvstore.MethodNCCL || t.cfg.GPUs == 1 {
 		ks, end = dev.BookCommKernel(ready, dev.Spec.KernelDuration(cost))
-		track = fmt.Sprintf("GPU%d/comm", root)
+		track = t.rt.TrackComm(root)
 	} else {
 		ks, end = dev.BookKernel(ready, cost)
 	}
@@ -106,121 +106,20 @@ func (t *Trainer) Run() (*Result, error) {
 	if t.cfg.Async {
 		return t.runAsync()
 	}
-	// Session setup: framework startup, communicator construction, and the
-	// initial model broadcast from the CPU to every GPU over PCIe
-	// (Figure 1's leftmost phase).
-	now := t.sessionStartup() + t.backend.SetupCost()
-	modelBytes := t.cfg.Model.Net.ModelBytes()
-	setupEnd := now
-	dataReady := make(map[topology.NodeID]time.Duration, len(t.devs))
-	for _, d := range t.devs {
-		_, end, err := t.rt.MemcpyHostToDevice(d, modelBytes, profiler.StageOther, now)
-		if err != nil {
-			return nil, err
-		}
-		if end > setupEnd {
-			setupEnd = end
-		}
-		// First mini-batch staging overlaps model distribution.
-		_, bEnd, err := t.rt.MemcpyHostToDevice(d, t.schedule.BatchBytes(), profiler.StageDataLoad, now)
-		if err != nil {
-			return nil, err
-		}
-		dataReady[d] = bEnd
+	// Synchronous data parallelism compiles to a Window and extrapolates
+	// it — the same path a warm artifact-cache hit takes, so cold and
+	// cached runs share one finalization code path (and therefore produce
+	// byte-identical results).
+	win, err := t.SimulateWindow()
+	if err != nil {
+		return nil, err
 	}
-
-	nsim := t.cfg.SimIters
-	if int64(nsim) > t.schedule.Iterations {
-		nsim = int(t.schedule.Iterations)
-	}
-	iters := make([]iterTimes, 0, nsim)
-	start := setupEnd
-	var err error
-	var it iterTimes
-	for i := 0; i < nsim; i++ {
-		it, dataReady, err = t.runIteration(start, dataReady)
-		if err != nil {
-			return nil, err
-		}
-		iters = append(iters, it)
-		start = it.barrier
-	}
-
-	steady := iters[len(iters)-1]
-	simTotal := steady.barrier - setupEnd
-	remaining := t.schedule.Iterations - int64(nsim)
-	epoch := setupEnd + simTotal + time.Duration(remaining)*steady.total()
-
-	res := &Result{
-		Config:     t.cfg,
-		Iterations: t.schedule.Iterations,
-		EpochTime:  epoch,
-		SetupTime:  setupEnd,
-		SteadyIter: steady.total(),
-		FPWall:     time.Duration(t.schedule.Iterations) * (steady.fpEnd - steady.start),
-		BPWall:     time.Duration(t.schedule.Iterations) * (steady.bpEnd - steady.fpEnd),
-		WUWall:     time.Duration(t.schedule.Iterations) * (steady.barrier - steady.bpEnd),
-		Profile:    t.prof,
-		Memory:     t.memory,
-	}
-	// Scale profile aggregates from the simulated window to the epoch.
-	if nsim > 0 && t.schedule.Iterations > int64(nsim) {
-		t.prof.Scale(float64(t.schedule.Iterations) / float64(nsim))
-	}
-	res.Throughput = float64(t.schedule.Images) / epoch.Seconds()
-	res.ComputeUtilization = t.computeUtilization(epoch)
-	res.SyncPercent = 100 * float64(t.prof.API("cudaStreamSynchronize").Total) /
-		(float64(epoch) * float64(t.cfg.GPUs))
-	res.GPUComputeBusy = t.gpuBusyFractions(setupEnd, steady.barrier, epoch)
-	return res, nil
-}
-
-// gpuBusyFractions extrapolates each device's compute-queue busy time from
-// the simulated window to the full epoch.
-func (t *Trainer) gpuBusyFractions(simStart, simEnd time.Duration, epoch time.Duration) map[topology.NodeID]float64 {
-	out := make(map[topology.NodeID]float64, len(t.devs))
-	window := simEnd - simStart
-	if window <= 0 || epoch <= 0 {
-		return out
-	}
-	for _, d := range t.devs {
-		busy := t.rt.Device(d).ComputeBusy()
-		// Busy time accumulated over the simulated window scales with the
-		// steady-state share of the epoch.
-		frac := float64(busy) / float64(window)
-		if frac > 1 {
-			frac = 1
-		}
-		out[d] = frac * (float64(epoch-t.SetupTimeApprox()) / float64(epoch))
-	}
-	return out
+	return win.Extrapolate(t.cfg.Images)
 }
 
 // SetupTimeApprox exposes the setup window used by busy-fraction scaling.
 func (t *Trainer) SetupTimeApprox() time.Duration {
 	return t.sessionStartup() + t.backend.SetupCost()
-}
-
-// computeUtilization is the occupancy-weighted share of the epoch the SM
-// array spends doing useful work (the metric behind the paper's "LeNet has
-// a compute utilization of only 18.3%"): each kernel contributes its
-// duration weighted by its achieved occupancy, normalized by the epoch.
-func (t *Trainer) computeUtilization(epoch time.Duration) float64 {
-	if epoch <= 0 {
-		return 0
-	}
-	spec := t.rt.Device(t.devs[0]).Spec
-	var weighted float64
-	add := func(ks []gpu.KernelCost) {
-		for _, k := range ks {
-			weighted += spec.KernelDuration(k).Seconds() * spec.Occupancy(k.Parallelism)
-		}
-	}
-	add(t.fwd)
-	for _, step := range t.bwd {
-		add(step.Kernels)
-	}
-	return weighted * float64(t.schedule.Iterations) / epoch.Seconds()
 }
 
 // runIteration simulates one synchronous iteration beginning at iterStart
@@ -229,12 +128,8 @@ func (t *Trainer) computeUtilization(epoch time.Duration) float64 {
 func (t *Trainer) runIteration(iterStart time.Duration, dataReady map[topology.NodeID]time.Duration) (iterTimes, map[topology.NodeID]time.Duration, error) {
 	it := iterTimes{start: iterStart}
 
-	type layerGrad struct {
-		name  string
-		bytes units.Bytes
-		ready time.Duration
-	}
-	var grads []layerGrad
+	// Per-layer gradient scratch, reused across iterations.
+	grads := t.grads[:0]
 
 	for _, d := range t.devs {
 		s := t.compute[d]
@@ -354,8 +249,17 @@ func (t *Trainer) runIteration(iterStart time.Duration, dataReady map[topology.N
 		}
 	}
 	it.barrier = barrier
+	t.grads = grads
 	if it.fpEnd < iterStart || it.bpEnd < it.fpEnd || it.barrier < it.bpEnd {
 		return it, nil, fmt.Errorf("train: non-causal iteration landmarks %+v", it)
 	}
 	return it, next, nil
+}
+
+// layerGrad is one parameter array's gradient availability during an
+// iteration's exchange phase.
+type layerGrad struct {
+	name  string
+	bytes units.Bytes
+	ready time.Duration
 }

@@ -153,7 +153,7 @@ func (c *Config) normalize() error {
 		c.Images = data.PaperDatasetImages
 	}
 	if c.SimIters < 2 {
-		c.SimIters = 4
+		c.SimIters = DefaultSimIters
 	}
 	return nil
 }
@@ -237,6 +237,11 @@ type Trainer struct {
 	bwd      []dnn.BackwardStep
 	schedule data.Schedule
 	memory   memmodel.Estimate
+
+	// grads is runIteration's per-layer scratch, reused across iterations.
+	grads []layerGrad
+	// ran guards the single-shot simulation (the engine is consumed).
+	ran bool
 }
 
 // New builds a trainer, enforcing the device-memory gate (it returns an
