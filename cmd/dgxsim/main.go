@@ -7,9 +7,11 @@
 //	dgxsim -model resnet -gpus 4 -batch 32 -method nccl
 //	dgxsim -model inception-v3 -gpus 8 -batch 16 -method p2p -weak
 //	dgxsim -model lenet -gpus 4 -batch 16 -compare
+//	dgxsim -model resnet -gpus 8 -batch 32 -faults '{"failedLinks":[{"a":0,"b":1}]}'
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,24 +19,26 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/faults"
 )
 
 func main() {
 	var (
-		model   = flag.String("model", "googlenet", "model name: "+strings.Join(core.Models(), ", "))
-		gpus    = flag.Int("gpus", 4, "GPU count (1..8)")
-		batch   = flag.Int("batch", 16, "per-GPU batch size")
-		method  = flag.String("method", "nccl", "communication method: p2p or nccl")
-		images  = flag.Int64("images", 0, "images per epoch (0 = paper's 256K)")
-		weak    = flag.Bool("weak", false, "weak scaling: dataset grows with GPU count")
-		compare = flag.Bool("compare", false, "run both methods and compare")
-		noTC    = flag.Bool("no-tensor-cores", false, "disable tensor-core lowering")
-		async   = flag.Bool("async", false, "asynchronous SGD (p2p only)")
-		mp      = flag.Bool("model-parallel", false, "partition layers across GPUs instead of replicating")
-		micro   = flag.Int("micro-batches", 0, "model-parallel pipeline depth (0 = 2x stages)")
-		profile = flag.Bool("profile", false, "print the nvprof-style profile summary")
-		layers  = flag.Int("layers", 0, "print the N most expensive layers (0 = off)")
-		asJSON  = flag.Bool("json", false, "emit the report as JSON instead of text")
+		model      = flag.String("model", "googlenet", "model name: "+strings.Join(core.Models(), ", "))
+		gpus       = flag.Int("gpus", 4, "GPU count (1..8)")
+		batch      = flag.Int("batch", 16, "per-GPU batch size")
+		method     = flag.String("method", "nccl", "communication method: p2p or nccl")
+		images     = flag.Int64("images", 0, "images per epoch (0 = paper's 256K)")
+		weak       = flag.Bool("weak", false, "weak scaling: dataset grows with GPU count")
+		compare    = flag.Bool("compare", false, "run both methods and compare")
+		noTC       = flag.Bool("no-tensor-cores", false, "disable tensor-core lowering")
+		async      = flag.Bool("async", false, "asynchronous SGD (p2p only)")
+		mp         = flag.Bool("model-parallel", false, "partition layers across GPUs instead of replicating")
+		micro      = flag.Int("micro-batches", 0, "model-parallel pipeline depth (0 = 2x stages)")
+		faultsJSON = flag.String("faults", "", `fault plan as JSON, e.g. '{"failedLinks":[{"a":0,"b":1}],"stragglers":[{"gpu":3,"slowdown":1.5}]}'`)
+		profile    = flag.Bool("profile", false, "print the nvprof-style profile summary")
+		layers     = flag.Int("layers", 0, "print the N most expensive layers (0 = off)")
+		asJSON     = flag.Bool("json", false, "emit the report as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -50,10 +54,25 @@ func main() {
 		ModelParallel:      *mp,
 		MicroBatches:       *micro,
 	}
+	if *faultsJSON != "" {
+		// Strict decode, mirroring the service's schema discipline: an
+		// unknown or misspelled field is an error, not a silently healthy
+		// fabric.
+		dec := json.NewDecoder(strings.NewReader(*faultsJSON))
+		dec.DisallowUnknownFields()
+		var p faults.Plan
+		if err := dec.Decode(&p); err != nil {
+			fatal(fmt.Errorf("-faults: %w", err))
+		}
+		w.Faults = &p
+	}
 	// The service (cmd/dgxsimd) runs the same check, so the CLI and the
 	// API reject a bad configuration with identical error text.
 	if err := w.Validate(); err != nil {
 		fatal(err)
+	}
+	if w.Faults != nil && !*asJSON {
+		fmt.Printf("fault plan: %s\n", w.Faults.Normalize())
 	}
 
 	if *compare {

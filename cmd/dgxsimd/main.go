@@ -8,6 +8,7 @@
 //	dgxsimd -addr :8080 -workers 8 -cache 1024 -timeout 60s
 //
 //	curl -s localhost:8080/v1/simulate -d '{"Model":"resnet","GPUs":4,"Batch":32}'
+//	curl -s localhost:8080/v1/simulate -d '{"Model":"alexnet","GPUs":8,"Batch":16,"faults":{"failedLinks":[{"a":0,"b":1}]}}'
 //	curl -s localhost:8080/v1/sweep -d '{"Models":["lenet","alexnet"],"GPUs":[1,2,4,8],"Batches":[16],"Methods":["p2p","nccl"]}'
 //	curl -s localhost:8080/v1/validate -d '{"Model":"resnet","GPUs":16,"Batch":32}'
 //	curl -s localhost:8080/metrics
@@ -52,9 +53,17 @@ func main() {
 	defer svc.Close()
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Slow-client hardening: bound header and body reads and reap
+		// idle keep-alive connections. Response writes stay unbounded —
+		// a sweep may legitimately simulate for the full -timeout before
+		// its body goes out (the per-request simulation timeout bounds
+		// that work instead). Bodies are additionally capped by the
+		// service's MaxBytesReader (413 on overflow).
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -182,6 +182,7 @@ func trainConfig(w Workload) (train.Config, error) {
 	cfg.Checkpointing = w.Checkpointing
 	cfg.Winograd = w.Winograd
 	cfg.DetailIntervals = w.TraceIntervals
+	cfg.Faults = w.Faults
 	return cfg, nil
 }
 

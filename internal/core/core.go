@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/dnn"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/kvstore"
 	"repro/internal/memmodel"
@@ -73,6 +74,12 @@ type Workload struct {
 	// TraceIntervals retains up to this many profiler intervals for
 	// timeline export.
 	TraceIntervals int
+	// Faults injects a degraded-fabric plan — failed NVLink bricks,
+	// per-link bandwidth degradation, straggler GPUs, PCIe contention —
+	// into the simulated DGX-1 (see internal/faults). Nil is the healthy
+	// machine. The plan is part of the workload's identity: it joins the
+	// Fingerprint, so faulted runs never alias healthy ones in any cache.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // Report is the outcome of one simulated epoch. It marshals to JSON for

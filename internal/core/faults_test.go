@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// The artifact cache keys off the fingerprint, so a faulted workload must
+// never alias a healthy one — otherwise a degraded-fabric simulation could
+// silently serve the healthy machine's cached window (or vice versa).
+func TestFaultedFingerprintNeverAliasesHealthy(t *testing.T) {
+	healthy := Workload{Model: "alexnet", GPUs: 8, Batch: 16, Method: NCCL}
+	faulted := healthy
+	faulted.Faults = &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 1}}}
+	if healthy.Fingerprint() == faulted.Fingerprint() {
+		t.Fatal("faulted workload fingerprints like the healthy one — artifact cache would alias them")
+	}
+	if artifactKey(healthy.Normalize()) == artifactKey(faulted.Normalize()) {
+		t.Fatal("faulted workload shares the healthy artifact key")
+	}
+	// Distinct plans get distinct keys too.
+	other := healthy
+	other.Faults = &faults.Plan{PCIeContention: 0.5}
+	if other.Fingerprint() == faulted.Fingerprint() {
+		t.Error("distinct fault plans must not share a fingerprint")
+	}
+}
+
+// A plan of pure no-ops must normalize away so "no faults" has exactly one
+// fingerprint, and equivalent spellings of a real plan must share one.
+func TestFaultSpellingsShareFingerprint(t *testing.T) {
+	healthy := Workload{Model: "alexnet", GPUs: 8, Batch: 16, Method: NCCL}
+	noop := healthy
+	noop.Faults = &faults.Plan{Stragglers: []faults.Straggler{{GPU: 3, Slowdown: 1}}}
+	if healthy.Fingerprint() != noop.Fingerprint() {
+		t.Error("a no-op fault plan must fingerprint like the healthy workload")
+	}
+
+	a := healthy
+	a.Faults = &faults.Plan{FailedLinks: []faults.Link{{A: 1, B: 0}, {A: 2, B: 0}}}
+	b := healthy
+	b.Faults = &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 2}, {A: 0, B: 1}}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equivalent fault-plan spellings must share a fingerprint")
+	}
+}
+
+// End to end through the artifact layer: the faulted run simulates on the
+// degraded fabric (strictly more exposed WU than healthy) and an invalid
+// plan is rejected by Workload.Validate.
+func TestSimulateWithFaults(t *testing.T) {
+	healthy := Workload{Model: "alexnet", GPUs: 8, Batch: 16, Method: NCCL, Images: 4096}
+	faulted := healthy
+	faulted.Faults = &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 1}, {A: 0, B: 2}}}
+
+	h, err := Simulate(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Simulate(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.WUWall <= h.WUWall {
+		t.Errorf("faulted WU %v must exceed healthy %v", f.WUWall, h.WUWall)
+	}
+
+	bad := healthy
+	bad.Faults = &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 4}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("workload with a nonexistent link must fail validation")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // TestFingerprintCoversEveryField perturbs each exported Workload field
@@ -43,6 +45,13 @@ func perturb(t *testing.T, name string, v reflect.Value) {
 		v.SetInt(v.Int() + 977)
 	case reflect.Bool:
 		v.SetBool(!v.Bool())
+	case reflect.Pointer:
+		switch v.Interface().(type) {
+		case *faults.Plan:
+			v.Set(reflect.ValueOf(&faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 1}}}))
+		default:
+			t.Fatalf("field %s has pointer type %v; teach perturb about it", name, v.Type())
+		}
 	default:
 		t.Fatalf("field %s has kind %v; teach perturb about it", name, v.Kind())
 	}

@@ -13,6 +13,10 @@ import "repro/internal/data"
 // Normalize is idempotent and leaves every other field untouched; in
 // particular WeakScaling stays a flag (the dataset multiplication happens
 // at simulation time, so the flag remains visible in reports).
+// The fault plan canonicalizes too (pairs ordered, lists sorted, no-op
+// entries dropped, a healthy plan collapsing to nil), so every spelling
+// of the same degraded fabric shares one fingerprint — and the healthy
+// machine has exactly one.
 func (w Workload) Normalize() Workload {
 	if w.Method == "" {
 		w.Method = NCCL
@@ -20,5 +24,6 @@ func (w Workload) Normalize() Workload {
 	if w.Images == 0 {
 		w.Images = data.PaperDatasetImages
 	}
+	w.Faults = w.Faults.Normalize()
 	return w
 }

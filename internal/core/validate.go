@@ -60,6 +60,9 @@ func (w Workload) Validate() error {
 	if w.TraceIntervals < 0 {
 		return fmt.Errorf("core: trace interval count %d must not be negative", w.TraceIntervals)
 	}
+	if err := w.Faults.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
 }
 

@@ -86,6 +86,14 @@ type Runtime struct {
 // NewRuntime creates devices and host threads for the listed GPUs. prof may
 // be nil to disable accounting.
 func NewRuntime(fabric *interconnect.Fabric, spec gpu.Spec, gpus []topology.NodeID, costs Costs, prof *profiler.Profile) (*Runtime, error) {
+	return NewRuntimeWithSpecs(fabric, spec, nil, gpus, costs, prof)
+}
+
+// NewRuntimeWithSpecs is NewRuntime with per-device spec overrides:
+// devices listed in specs use their entry, the rest use def. Fault plans
+// use it to model straggler GPUs — a heterogeneous node where one device
+// runs every kernel slower than its peers.
+func NewRuntimeWithSpecs(fabric *interconnect.Fabric, def gpu.Spec, specs map[topology.NodeID]gpu.Spec, gpus []topology.NodeID, costs Costs, prof *profiler.Profile) (*Runtime, error) {
 	rt := &Runtime{
 		eng:     fabric.Engine(),
 		fabric:  fabric,
@@ -114,6 +122,10 @@ func NewRuntime(fabric *interconnect.Fabric, spec gpu.Spec, gpus []topology.Node
 			xferHtoD:   fmt.Sprintf("xfer H->%d", id),
 			memcpyDtoH: fmt.Sprintf("memcpyDtoH %d->", id),
 			xferDtoH:   fmt.Sprintf("xfer %d->H", id),
+		}
+		spec := def
+		if s, ok := specs[id]; ok {
+			spec = s
 		}
 		rt.devices[id] = gpu.NewDevice(rt.eng, id, spec)
 		rt.hosts[id] = sim.NewResource(rt.eng, rt.names[id].host)

@@ -80,6 +80,7 @@ func All() []Experiment {
 		{ID: "optimizations", Title: "Extension: post-paper remedies (bucketing, tree algorithm)", Run: Optimizations},
 		{ID: "layers", Title: "Extension: layer-by-layer roofline characterization", Run: Layers},
 		{ID: "hardware", Title: "Extension: hardware generations and transport baselines", Run: Hardware},
+		{ID: "resilience", Title: "Extension: training under injected fabric faults", Run: Resilience},
 	}
 }
 

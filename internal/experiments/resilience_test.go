@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The resilience sweep must render byte-identically across repeated runs
+// and across worker counts — the same bar every other sweep is held to.
+func TestResilienceDeterministic(t *testing.T) {
+	opts := testOpts
+	opts.Images = 4096
+
+	seq := opts
+	seq.Workers = 1
+	a, err := Resilience(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := opts
+	par.Workers = 8
+	b, err := Resilience(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Resilience(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || len(b) != 1 || len(c) != 1 {
+		t.Fatalf("resilience should render one table, got %d/%d/%d", len(a), len(b), len(c))
+	}
+	if a[0].String() != b[0].String() {
+		t.Error("parallel sweep renders differently from sequential")
+	}
+	if b[0].String() != c[0].String() {
+		t.Error("repeated runs render differently")
+	}
+}
+
+// Every fault scenario must come out at least as slow as the healthy
+// baseline — a faster degraded machine means a lowering bug.
+func TestResilienceScenariosNeverSpeedUp(t *testing.T) {
+	opts := testOpts
+	opts.Images = 4096
+	tabs, err := Resilience(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tabs[0].String()
+	for _, s := range resilienceScenarios() {
+		if err := s.plan.Validate(); err != nil {
+			t.Errorf("scenario %q ships an invalid plan: %v", s.name, err)
+		}
+		if !strings.Contains(out, s.name) {
+			t.Errorf("table is missing scenario %q", s.name)
+		}
+	}
+	// The "vs healthy" column is rendered as "N.NNx"; the healthy row is
+	// 1.00x and no row may fall below it.
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		last := f[len(f)-1]
+		if !strings.HasSuffix(last, "x") {
+			continue
+		}
+		ratio, err := strconv.ParseFloat(strings.TrimSuffix(last, "x"), 64)
+		if err != nil {
+			continue
+		}
+		if ratio < 1 {
+			t.Errorf("scenario row reports a speed-up: %s", line)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package faults defines declarative fault plans for the simulated Volta
+// DGX-1: failed NVLink bricks, per-link bandwidth degradation, per-GPU
+// straggler slowdowns, and PCIe host contention. The paper's central
+// finding is that training time on this machine is governed by the NVLink
+// hybrid cube-mesh's asymmetric link structure; a fault plan asks the
+// follow-up question real fleets pose — what happens when that fabric
+// degrades — as a first-class, deterministic input to the simulator
+// rather than a hand-built test topology.
+//
+// A Plan is pure data: it marshals to/from JSON (the dgxsimd wire schema
+// and the dgxsim -faults flag), validates against the DGX-1's actual
+// wiring, normalizes to a canonical form (so equivalent spellings share
+// one fingerprint and one artifact-cache slot), and lowers to the
+// concrete simulation inputs — a degraded topology.Topology and per-GPU
+// gpu.Spec overrides. Ring construction (nccl), peer routing (p2p), and
+// data staging all react through the topology; stragglers react through
+// the device specs.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/gpu"
+	"repro/internal/topology"
+)
+
+// NumGPUs is the DGX-1's device count, the range every GPU reference in a
+// plan must fall in.
+const NumGPUs = 8
+
+// Link names one NVLink connection by its GPU endpoints (order
+// irrelevant; Normalize canonicalizes to A < B).
+type Link struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+// String renders the link as "a-b".
+func (l Link) String() string { return fmt.Sprintf("%d-%d", l.A, l.B) }
+
+// Degrade scales one surviving NVLink connection's bandwidth: Fraction is
+// the remaining share in (0, 1]. A fully failed brick belongs in
+// FailedLinks instead, so the topology drops the edge and ring search
+// never routes over it.
+type Degrade struct {
+	A        int     `json:"a"`
+	B        int     `json:"b"`
+	Fraction float64 `json:"fraction"`
+}
+
+// Straggler slows one GPU: every kernel class (tensor, FP32, memory) runs
+// Slowdown times slower — the thermal-throttle / sick-HBM model. Slowdown
+// must be >= 1; exactly 1 is a no-op Normalize drops.
+type Straggler struct {
+	GPU      int     `json:"gpu"`
+	Slowdown float64 `json:"slowdown"`
+}
+
+// Plan is a declarative description of a degraded DGX-1. The zero value
+// (and nil) is the healthy machine. Plans are deterministic: the same
+// plan always builds the same fabric, so faulted simulations memoize and
+// reproduce exactly like healthy ones.
+type Plan struct {
+	// FailedLinks lists NVLink connections removed entirely.
+	FailedLinks []Link `json:"failedLinks,omitempty"`
+	// DegradedLinks lists NVLink connections at reduced bandwidth.
+	DegradedLinks []Degrade `json:"degradedLinks,omitempty"`
+	// Stragglers lists slowed GPUs.
+	Stragglers []Straggler `json:"stragglers,omitempty"`
+	// PCIeContention is the fraction of every PCIe link's bandwidth lost
+	// to host traffic, in [0, 1). Zero means uncontended.
+	PCIeContention float64 `json:"pcieContention,omitempty"`
+}
+
+// IsZero reports whether the plan (nil included) describes the healthy
+// machine. Note it is spelling-sensitive — a plan of pure no-ops (e.g. a
+// 1.0 slowdown) is not zero until Normalize drops them.
+func (p *Plan) IsZero() bool {
+	return p == nil ||
+		(len(p.FailedLinks) == 0 && len(p.DegradedLinks) == 0 &&
+			len(p.Stragglers) == 0 && p.PCIeContention == 0)
+}
+
+// norm returns the canonical (a < b) form of a GPU pair.
+func norm(a, b int) (int, int) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}
+
+// checkLink validates one NVLink reference against the DGX-1 wiring.
+func checkLink(what string, a, b int) error {
+	if a < 0 || a >= NumGPUs || b < 0 || b >= NumGPUs {
+		return fmt.Errorf("faults: %s %d-%d references a GPU outside 0..%d", what, a, b, NumGPUs-1)
+	}
+	if a == b {
+		return fmt.Errorf("faults: %s %d-%d is a self-link", what, a, b)
+	}
+	if !topology.DGX1HasNVLink(topology.NodeID(a), topology.NodeID(b)) {
+		return fmt.Errorf("faults: %s %d-%d: the DGX-1 has no NVLink between those GPUs", what, a, b)
+	}
+	return nil
+}
+
+// Validate checks the plan against the DGX-1's wiring and the fields'
+// domains. A nil plan is valid. Validation accepts any pair order and any
+// list order (Normalize canonicalizes), but rejects references to links
+// the machine does not have, out-of-range fractions and slowdowns, and
+// contradictory or duplicate entries.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	failed := make(map[[2]int]bool, len(p.FailedLinks))
+	for _, l := range p.FailedLinks {
+		if err := checkLink("failed link", l.A, l.B); err != nil {
+			return err
+		}
+		a, b := norm(l.A, l.B)
+		if failed[[2]int{a, b}] {
+			return fmt.Errorf("faults: failed link %d-%d listed twice", a, b)
+		}
+		failed[[2]int{a, b}] = true
+	}
+	degraded := make(map[[2]int]bool, len(p.DegradedLinks))
+	for _, d := range p.DegradedLinks {
+		if err := checkLink("degraded link", d.A, d.B); err != nil {
+			return err
+		}
+		if d.Fraction <= 0 || d.Fraction > 1 {
+			return fmt.Errorf("faults: degraded link %d-%d fraction %v out of (0, 1] (a dead brick belongs in failedLinks)", d.A, d.B, d.Fraction)
+		}
+		a, b := norm(d.A, d.B)
+		if degraded[[2]int{a, b}] {
+			return fmt.Errorf("faults: degraded link %d-%d listed twice", a, b)
+		}
+		if failed[[2]int{a, b}] {
+			return fmt.Errorf("faults: link %d-%d is both failed and degraded", a, b)
+		}
+		degraded[[2]int{a, b}] = true
+	}
+	seen := make(map[int]bool, len(p.Stragglers))
+	for _, s := range p.Stragglers {
+		if s.GPU < 0 || s.GPU >= NumGPUs {
+			return fmt.Errorf("faults: straggler GPU %d outside 0..%d", s.GPU, NumGPUs-1)
+		}
+		if s.Slowdown < 1 {
+			return fmt.Errorf("faults: straggler GPU %d slowdown %v must be >= 1", s.GPU, s.Slowdown)
+		}
+		if seen[s.GPU] {
+			return fmt.Errorf("faults: straggler GPU %d listed twice", s.GPU)
+		}
+		seen[s.GPU] = true
+	}
+	if p.PCIeContention < 0 || p.PCIeContention >= 1 {
+		return fmt.Errorf("faults: PCIe contention %v out of [0, 1)", p.PCIeContention)
+	}
+	return nil
+}
+
+// Normalize returns the plan in canonical form: pairs ordered A < B,
+// lists sorted, and no-op entries (a 1.0 degradation fraction, a 1.0
+// slowdown) dropped. A plan that normalizes to the healthy machine
+// returns nil, so "no faults" has exactly one spelling — the property
+// core.Workload.Fingerprint and the artifact cache rely on to never
+// alias a faulted run with a healthy one while still sharing slots
+// between equivalent spellings. Normalize never mutates its receiver.
+func (p *Plan) Normalize() *Plan {
+	if p.IsZero() {
+		return nil
+	}
+	n := &Plan{PCIeContention: p.PCIeContention}
+	for _, l := range p.FailedLinks {
+		a, b := norm(l.A, l.B)
+		n.FailedLinks = append(n.FailedLinks, Link{A: a, B: b})
+	}
+	sort.Slice(n.FailedLinks, func(i, j int) bool {
+		if n.FailedLinks[i].A != n.FailedLinks[j].A {
+			return n.FailedLinks[i].A < n.FailedLinks[j].A
+		}
+		return n.FailedLinks[i].B < n.FailedLinks[j].B
+	})
+	for _, d := range p.DegradedLinks {
+		if d.Fraction == 1 {
+			continue
+		}
+		a, b := norm(d.A, d.B)
+		n.DegradedLinks = append(n.DegradedLinks, Degrade{A: a, B: b, Fraction: d.Fraction})
+	}
+	sort.Slice(n.DegradedLinks, func(i, j int) bool {
+		if n.DegradedLinks[i].A != n.DegradedLinks[j].A {
+			return n.DegradedLinks[i].A < n.DegradedLinks[j].A
+		}
+		return n.DegradedLinks[i].B < n.DegradedLinks[j].B
+	})
+	for _, s := range p.Stragglers {
+		if s.Slowdown == 1 {
+			continue
+		}
+		n.Stragglers = append(n.Stragglers, s)
+	}
+	sort.Slice(n.Stragglers, func(i, j int) bool { return n.Stragglers[i].GPU < n.Stragglers[j].GPU })
+	if n.IsZero() {
+		return nil
+	}
+	return n
+}
+
+// Topology lowers the plan to the degraded DGX-1 fabric. The healthy
+// (nil or zero) plan returns the ordinary DGX1(). NCCL ring search, p2p
+// routing, and PCIe data staging all read the returned graph, so every
+// consumer of the fabric reacts to the same fault set.
+func (p *Plan) Topology() *topology.Topology {
+	if p.IsZero() {
+		return topology.DGX1()
+	}
+	spec := topology.DGX1FaultSpec{PCIeScale: 1 - p.PCIeContention}
+	for _, l := range p.FailedLinks {
+		spec.FailedNVLinks = append(spec.FailedNVLinks,
+			[2]topology.NodeID{topology.NodeID(l.A), topology.NodeID(l.B)})
+	}
+	if len(p.DegradedLinks) > 0 {
+		spec.DegradedNVLinks = make(map[[2]topology.NodeID]float64, len(p.DegradedLinks))
+		for _, d := range p.DegradedLinks {
+			key := [2]topology.NodeID{topology.NodeID(d.A), topology.NodeID(d.B)}
+			spec.DegradedNVLinks[key] = d.Fraction
+		}
+	}
+	return topology.DGX1Faulted(spec)
+}
+
+// Specs lowers the plan's stragglers to per-device spec overrides over
+// the base spec. GPUs without a straggler entry are absent from the map
+// (the runtime falls back to base). Returns nil when no GPU straggles.
+func (p *Plan) Specs(base gpu.Spec) map[topology.NodeID]gpu.Spec {
+	if p == nil || len(p.Stragglers) == 0 {
+		return nil
+	}
+	out := make(map[topology.NodeID]gpu.Spec, len(p.Stragglers))
+	for _, s := range p.Stragglers {
+		if s.Slowdown > 1 {
+			out[topology.NodeID(s.GPU)] = base.Slowed(s.Slowdown)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// String renders a compact human-readable description, e.g.
+// "links down: 0-1, 0-2; 3-5 at 40%; GPU4 1.5x slow; PCIe -50%".
+// The healthy plan renders as "healthy".
+func (p *Plan) String() string {
+	if p.IsZero() {
+		return "healthy"
+	}
+	var parts []string
+	if len(p.FailedLinks) > 0 {
+		names := make([]string, len(p.FailedLinks))
+		for i, l := range p.FailedLinks {
+			names[i] = l.String()
+		}
+		parts = append(parts, "links down: "+strings.Join(names, ", "))
+	}
+	for _, d := range p.DegradedLinks {
+		parts = append(parts, fmt.Sprintf("%d-%d at %.0f%%", d.A, d.B, 100*d.Fraction))
+	}
+	for _, s := range p.Stragglers {
+		parts = append(parts, fmt.Sprintf("GPU%d %.2gx slow", s.GPU, s.Slowdown))
+	}
+	if p.PCIeContention > 0 {
+		parts = append(parts, fmt.Sprintf("PCIe -%.0f%%", 100*p.PCIeContention))
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,219 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"zero", &Plan{}, true},
+		{"failed brick", &Plan{FailedLinks: []Link{{A: 0, B: 1}}}, true},
+		{"failed brick reversed", &Plan{FailedLinks: []Link{{A: 1, B: 0}}}, true},
+		{"nonexistent link", &Plan{FailedLinks: []Link{{A: 0, B: 4}}}, false},
+		{"self link", &Plan{FailedLinks: []Link{{A: 3, B: 3}}}, false},
+		{"out of range GPU", &Plan{FailedLinks: []Link{{A: 0, B: 8}}}, false},
+		{"negative GPU", &Plan{FailedLinks: []Link{{A: -1, B: 1}}}, false},
+		{"duplicate failed", &Plan{FailedLinks: []Link{{A: 0, B: 1}, {A: 1, B: 0}}}, false},
+		{"degraded ok", &Plan{DegradedLinks: []Degrade{{A: 2, B: 3, Fraction: 0.5}}}, true},
+		{"degraded fraction 1", &Plan{DegradedLinks: []Degrade{{A: 2, B: 3, Fraction: 1}}}, true},
+		{"degraded fraction 0", &Plan{DegradedLinks: []Degrade{{A: 2, B: 3, Fraction: 0}}}, false},
+		{"degraded fraction >1", &Plan{DegradedLinks: []Degrade{{A: 2, B: 3, Fraction: 1.5}}}, false},
+		{"duplicate degraded", &Plan{DegradedLinks: []Degrade{
+			{A: 2, B: 3, Fraction: 0.5}, {A: 3, B: 2, Fraction: 0.4}}}, false},
+		{"failed and degraded", &Plan{
+			FailedLinks:   []Link{{A: 0, B: 1}},
+			DegradedLinks: []Degrade{{A: 1, B: 0, Fraction: 0.5}}}, false},
+		{"straggler ok", &Plan{Stragglers: []Straggler{{GPU: 4, Slowdown: 1.5}}}, true},
+		{"straggler slowdown 1", &Plan{Stragglers: []Straggler{{GPU: 4, Slowdown: 1}}}, true},
+		{"straggler slowdown <1", &Plan{Stragglers: []Straggler{{GPU: 4, Slowdown: 0.9}}}, false},
+		{"straggler GPU out of range", &Plan{Stragglers: []Straggler{{GPU: 8, Slowdown: 2}}}, false},
+		{"duplicate straggler", &Plan{Stragglers: []Straggler{
+			{GPU: 4, Slowdown: 1.5}, {GPU: 4, Slowdown: 2}}}, false},
+		{"pcie ok", &Plan{PCIeContention: 0.5}, true},
+		{"pcie negative", &Plan{PCIeContention: -0.1}, false},
+		{"pcie full", &Plan{PCIeContention: 1}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.plan.Validate()
+			if c.ok && err != nil {
+				t.Errorf("want valid, got %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Normalize() != nil {
+		t.Error("nil plan must normalize to nil")
+	}
+	if (&Plan{}).Normalize() != nil {
+		t.Error("zero plan must normalize to nil")
+	}
+	// Pure no-ops normalize away entirely.
+	noop := &Plan{
+		DegradedLinks: []Degrade{{A: 0, B: 1, Fraction: 1}},
+		Stragglers:    []Straggler{{GPU: 3, Slowdown: 1}},
+	}
+	if got := noop.Normalize(); got != nil {
+		t.Errorf("no-op plan must normalize to nil, got %+v", got)
+	}
+	// Equivalent spellings normalize identically.
+	a := &Plan{
+		FailedLinks: []Link{{A: 1, B: 0}, {A: 2, B: 0}},
+		Stragglers:  []Straggler{{GPU: 5, Slowdown: 2}, {GPU: 1, Slowdown: 1.5}},
+	}
+	b := &Plan{
+		FailedLinks: []Link{{A: 0, B: 2}, {A: 0, B: 1}},
+		Stragglers:  []Straggler{{GPU: 1, Slowdown: 1.5}, {GPU: 5, Slowdown: 2}},
+	}
+	na, nb := a.Normalize(), b.Normalize()
+	if !reflect.DeepEqual(na, nb) {
+		t.Errorf("equivalent plans normalize differently:\n%+v\n%+v", na, nb)
+	}
+	want := &Plan{
+		FailedLinks: []Link{{A: 0, B: 1}, {A: 0, B: 2}},
+		Stragglers:  []Straggler{{GPU: 1, Slowdown: 1.5}, {GPU: 5, Slowdown: 2}},
+	}
+	if !reflect.DeepEqual(na, want) {
+		t.Errorf("canonical form mismatch: got %+v want %+v", na, want)
+	}
+	// Normalize never mutates its receiver.
+	if a.FailedLinks[0] != (Link{A: 1, B: 0}) {
+		t.Error("Normalize mutated its receiver")
+	}
+}
+
+func TestTopologyLowering(t *testing.T) {
+	if got := (*Plan)(nil).Topology(); got == nil {
+		t.Fatal("nil plan must lower to the healthy DGX-1")
+	}
+	healthy := topology.DGX1()
+
+	link := func(top *topology.Topology, a, b topology.NodeID) (units.Bandwidth, bool) {
+		for _, l := range top.Links() {
+			if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+				return l.BW, true
+			}
+		}
+		return 0, false
+	}
+
+	// Failed brick: the edge disappears.
+	p := &Plan{FailedLinks: []Link{{A: 0, B: 1}}}
+	top := p.Topology()
+	if _, ok := link(top, 0, 1); ok {
+		t.Error("failed link 0-1 still present in lowered topology")
+	}
+	if _, ok := link(top, 0, 2); !ok {
+		t.Error("unrelated link 0-2 missing from lowered topology")
+	}
+
+	// Degraded link: bandwidth scales by the fraction.
+	p = &Plan{DegradedLinks: []Degrade{{A: 0, B: 1, Fraction: 0.5}}}
+	top = p.Topology()
+	hbw, _ := link(healthy, 0, 1)
+	dbw, ok := link(top, 0, 1)
+	if !ok {
+		t.Fatal("degraded link 0-1 missing")
+	}
+	if want := units.Bandwidth(float64(hbw) * 0.5); dbw != want {
+		t.Errorf("degraded 0-1 bandwidth = %v, want %v", dbw, want)
+	}
+
+	// PCIe contention scales GPU-CPU staging links.
+	p = &Plan{PCIeContention: 0.5}
+	top = p.Topology()
+	var checked bool
+	for _, l := range top.Links() {
+		if l.Type != topology.PCIe {
+			continue
+		}
+		if l.BW != topology.PCIeGen3x16BW/2 {
+			t.Errorf("PCIe link %v-%v bandwidth %v, want half of %v",
+				l.A, l.B, l.BW, topology.PCIeGen3x16BW)
+		}
+		checked = true
+	}
+	if !checked {
+		t.Fatal("no PCIe links found in lowered topology")
+	}
+}
+
+func TestSpecsLowering(t *testing.T) {
+	base := gpu.V100()
+	if got := (*Plan)(nil).Specs(base); got != nil {
+		t.Error("nil plan must lower to nil spec overrides")
+	}
+	p := &Plan{Stragglers: []Straggler{{GPU: 3, Slowdown: 2}}}
+	specs := p.Specs(base)
+	if len(specs) != 1 {
+		t.Fatalf("want 1 override, got %d", len(specs))
+	}
+	s, ok := specs[3]
+	if !ok {
+		t.Fatal("missing override for GPU 3")
+	}
+	if s.PeakFP32 != units.FLOPRate(float64(base.PeakFP32)/2) {
+		t.Errorf("slowed PeakFP32 = %v, want half of %v", s.PeakFP32, base.PeakFP32)
+	}
+	if s.MemBW != units.Bandwidth(float64(base.MemBW)/2) {
+		t.Errorf("slowed MemBW = %v, want half of %v", s.MemBW, base.MemBW)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := &Plan{
+		FailedLinks:    []Link{{A: 0, B: 1}},
+		DegradedLinks:  []Degrade{{A: 3, B: 5, Fraction: 0.4}},
+		Stragglers:     []Straggler{{GPU: 4, Slowdown: 1.5}},
+		PCIeContention: 0.25,
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, &back) {
+		t.Errorf("round trip mismatch: %+v vs %+v", p, &back)
+	}
+	// The wire names are the documented camelCase ones.
+	want := `{"failedLinks":[{"a":0,"b":1}],"degradedLinks":[{"a":3,"b":5,"fraction":0.4}],"stragglers":[{"gpu":4,"slowdown":1.5}],"pcieContention":0.25}`
+	if string(raw) != want {
+		t.Errorf("wire form:\n got %s\nwant %s", raw, want)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (*Plan)(nil).String(); got != "healthy" {
+		t.Errorf("nil plan renders %q, want \"healthy\"", got)
+	}
+	p := &Plan{
+		FailedLinks:    []Link{{A: 0, B: 1}, {A: 0, B: 2}},
+		DegradedLinks:  []Degrade{{A: 3, B: 5, Fraction: 0.4}},
+		Stragglers:     []Straggler{{GPU: 4, Slowdown: 1.5}},
+		PCIeContention: 0.5,
+	}
+	want := "links down: 0-1, 0-2; 3-5 at 40%; GPU4 1.5x slow; PCIe -50%"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -93,6 +93,21 @@ func P100() Spec {
 	}
 }
 
+// Slowed returns the spec with every throughput roof (FP32, tensor, DRAM)
+// divided by factor — the straggler-GPU model fault plans inject: thermal
+// throttling or a sick HBM stack slows every kernel class uniformly
+// without changing capacity or the host-side costs. A factor <= 1 returns
+// the spec unchanged.
+func (s Spec) Slowed(factor float64) Spec {
+	if factor <= 1 {
+		return s
+	}
+	s.PeakFP32 = units.FLOPRate(float64(s.PeakFP32) / factor)
+	s.PeakTensor = units.FLOPRate(float64(s.PeakTensor) / factor)
+	s.MemBW = units.Bandwidth(float64(s.MemBW) / factor)
+	return s
+}
+
 // KernelCost is a kernel's resource demand, computed by the DNN layer
 // planner.
 type KernelCost struct {

@@ -1,0 +1,59 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The Chrome trace export is consumed byte-for-byte by external viewers
+// and diffed in CI artifacts, so it must be deterministic and exactly the
+// documented shape. This golden test pins the full output for a small
+// detailed profile.
+func TestExportChromeTraceGolden(t *testing.T) {
+	p := NewDetailed(16)
+	p.Record(Interval{
+		Kind: KindKernel, Name: "volta_sgemm", Stage: StageFP,
+		Track: "gpu0", Start: 1 * time.Microsecond, End: 3 * time.Microsecond,
+	})
+	p.Record(Interval{
+		Kind: KindTransfer, Name: "ncclAllReduce", Stage: StageWU,
+		Track: "link0-1", Start: 3 * time.Microsecond, End: 4500 * time.Nanosecond,
+	})
+
+	const want = `{"traceEvents":[` +
+		`{"name":"thread_name","cat":"","ph":"M","ts":0,"dur":0,"pid":1,"tid":1,"args":{"name":"gpu0"}},` +
+		`{"name":"thread_name","cat":"","ph":"M","ts":0,"dur":0,"pid":1,"tid":2,"args":{"name":"link0-1"}},` +
+		`{"name":"volta_sgemm","cat":"kernel","ph":"X","ts":1,"dur":2,"pid":1,"tid":1,"args":{"stage":"FP"}},` +
+		`{"name":"ncclAllReduce","cat":"transfer","ph":"X","ts":3,"dur":1.5,"pid":1,"tid":2,"args":{"stage":"WU"}}` +
+		`]}` + "\n"
+
+	var b strings.Builder
+	if err := p.ExportChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("trace output:\n got %s\nwant %s", b.String(), want)
+	}
+
+	// Exporting again must produce identical bytes — no map-order leakage.
+	var b2 strings.Builder
+	if err := p.ExportChromeTrace(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Error("repeated export produced different bytes")
+	}
+}
+
+// An aggregate-only profile retains no intervals; its trace must still be
+// a valid, loadable document rather than an error or a null array.
+func TestExportChromeTraceEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := New().ExportChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.String(), `{"traceEvents":[]}`+"\n"; got != want {
+		t.Errorf("empty trace = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// A fault plan must round-trip the wire: accepted by /v1/simulate, echoed
+// back normalized in the report's workload, cached separately from the
+// healthy run, and visibly slower where the physics say so.
+func TestSimulateFaultedWorkloadRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	healthy := core.Workload{Model: "alexnet", GPUs: 8, Batch: 16, Images: 4096, Method: core.NCCL}
+	faulted := healthy
+	// Deliberately non-canonical spelling: reversed pair order.
+	faulted.Faults = &faults.Plan{FailedLinks: []faults.Link{{A: 1, B: 0}, {A: 2, B: 0}}}
+
+	resp, body := post(t, ts.URL+"/v1/simulate", healthy)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy simulate: %d %s", resp.StatusCode, body)
+	}
+	var h core.Report
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = post(t, ts.URL+"/v1/simulate", faulted)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("faulted simulate: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Cache") != "MISS" {
+		t.Errorf("faulted run must not hit the healthy run's cache entry, X-Cache = %q",
+			resp.Header.Get("X-Cache"))
+	}
+	var f core.Report
+	if err := json.Unmarshal(body, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Workload.Faults == nil {
+		t.Fatal("report workload does not echo the fault plan")
+	}
+	want := []faults.Link{{A: 0, B: 1}, {A: 0, B: 2}}
+	if got := f.Workload.Faults.FailedLinks; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("echoed fault plan not normalized: %+v", got)
+	}
+	if f.WU <= h.WU {
+		t.Errorf("faulted WU %v must exceed healthy %v", f.WU, h.WU)
+	}
+
+	// The same plan spelled canonically is the same cache entry.
+	canonical := healthy
+	canonical.Faults = &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 1}, {A: 0, B: 2}}}
+	resp, _ = post(t, ts.URL+"/v1/simulate", canonical)
+	if resp.Header.Get("X-Cache") != "HIT" {
+		t.Errorf("canonical spelling of the same plan should hit the cache, X-Cache = %q",
+			resp.Header.Get("X-Cache"))
+	}
+}
+
+func TestValidateRejectsBadFaultPlan(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	bad := core.Workload{Model: "lenet", GPUs: 8, Batch: 16,
+		Faults: &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 4}}}}
+	resp, body := post(t, ts.URL+"/v1/validate", bad)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("validate: %d %s", resp.StatusCode, body)
+	}
+	var vr ValidateResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Valid || !strings.Contains(vr.Error, "no NVLink") {
+		t.Errorf("bad fault plan not rejected: valid=%v error=%q", vr.Valid, vr.Error)
+	}
+}
+
+// Oversized request bodies must be cut off with 413, not read to the end.
+func TestOversizedBodyRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	big := make([]byte, maxBodyBytes+1024)
+	for i := range big {
+		big[i] = ' '
+	}
+	copy(big, `{"Model":"lenet","GPUs":2,"Batch":16,"pad":"`)
+	big[len(big)-2] = '"'
+	big[len(big)-1] = '}'
+	for _, path := range []string{"/v1/simulate", "/v1/compare", "/v1/sweep", "/v1/validate"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(big))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s with %d-byte body: status %d, want 413", path, len(big), resp.StatusCode)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -53,13 +54,24 @@ func (m *metrics) observe(path string, d time.Duration, failed bool) {
 	}
 }
 
-// quantile returns the q-th (0..1) latency of a sorted window.
+// quantile returns the q-th (0..1) latency of a sorted window using the
+// nearest-rank definition: the ⌈q·n⌉-th smallest sample. An earlier
+// version floored the interpolated index, which made p99 over small
+// windows report the *minimum* sample (2 samples: int(0.99*1) = 0); with
+// nearest-rank a high quantile always lands on the top of the window.
 func quantile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
 }
 
 // render writes the exposition text: request counts, error counts and

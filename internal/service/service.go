@@ -115,11 +115,20 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// maxBodyBytes bounds every JSON request body. Workload and sweep
+// descriptions are a few hundred bytes; 1 MiB leaves generous headroom
+// while keeping a hostile client from streaming an unbounded body into
+// the decoder.
+const maxBodyBytes = 1 << 20
+
 // httpError maps an error to a status code and writes the JSON error
 // body every endpoint shares.
 func httpError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	var mbe *http.MaxBytesError
 	switch {
+	case errors.As(err, &mbe):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -162,6 +171,12 @@ func checkSchemaVersion(v int) error {
 		return badRequestError{fmt.Errorf("unsupported schemaVersion %d (this server speaks %d)", v, SchemaVersion)}
 	}
 	return nil
+}
+
+// limitBody caps the request body at maxBodyBytes; decoding a larger
+// body surfaces *http.MaxBytesError, which httpError maps to 413.
+func limitBody(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 }
 
 // decodeBody parses a request body without semantic validation (the
@@ -238,6 +253,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, badRequestError{fmt.Errorf("use POST")})
 		return
 	}
+	limitBody(w, r)
 	wl, err := decodeWorkload(r)
 	if err != nil {
 		httpError(w, err)
@@ -281,6 +297,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		httpError(w, badRequestError{fmt.Errorf("use POST")})
 		return
 	}
+	limitBody(w, r)
 	wl, err := decodeWorkload(r)
 	if err != nil {
 		httpError(w, err)
@@ -389,6 +406,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, badRequestError{fmt.Errorf("use POST")})
 		return
 	}
+	limitBody(w, r)
 	var req SweepRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -457,6 +475,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, badRequestError{fmt.Errorf("use POST")})
 		return
 	}
+	limitBody(w, r)
 	wl, err := decodeBody(r)
 	if err != nil {
 		httpError(w, err)

@@ -23,27 +23,38 @@ func NewJitter(seed int64, rel float64) *Jitter {
 	return &Jitter{rng: rand.New(rand.NewSource(seed)), rel: rel}
 }
 
+// minFactor is the lower clamp every perturbation factor shares: a rare
+// deep-negative normal sample can make (1 + N(0, rel)) arbitrarily small
+// or negative, and a duration scaled by such a factor would be
+// nonsensical. Clamping at 0.5 keeps every factor strictly positive and
+// bounds the speed-up any single sample can fake at 2x. Scale and Factor
+// MUST clamp identically — both go through clampFactor — so a duration
+// scaled via Scale equals the same duration multiplied by Factor for the
+// same draw.
+const minFactor = 0.5
+
+// clampFactor applies the shared lower bound.
+func clampFactor(f float64) float64 {
+	if f < minFactor {
+		return minFactor
+	}
+	return f
+}
+
 // Scale perturbs d by a normally-distributed factor (1 + N(0, rel)),
-// clamped to stay positive. With rel <= 0 it is the identity.
+// clamped below at minFactor (0.5). With rel <= 0 it is the identity.
 func (j *Jitter) Scale(d time.Duration) time.Duration {
 	if j == nil || j.rel <= 0 || d <= 0 {
 		return d
 	}
-	f := 1 + j.rng.NormFloat64()*j.rel
-	if f < 0.5 {
-		f = 0.5
-	}
-	return time.Duration(float64(d) * f)
+	return time.Duration(float64(d) * clampFactor(1+j.rng.NormFloat64()*j.rel))
 }
 
-// Factor returns one perturbation factor (1 + N(0, rel)), clamped positive.
+// Factor returns one perturbation factor (1 + N(0, rel)), clamped below
+// at minFactor (0.5) exactly as Scale clamps.
 func (j *Jitter) Factor() float64 {
 	if j == nil || j.rel <= 0 {
 		return 1
 	}
-	f := 1 + j.rng.NormFloat64()*j.rel
-	if f < 0.5 {
-		f = 0.5
-	}
-	return f
+	return clampFactor(1 + j.rng.NormFloat64()*j.rel)
 }

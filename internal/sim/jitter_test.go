@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Scale and Factor must share one clamp: the same seed must yield the
+// same perturbation whether it is applied to a duration or read as a
+// bare factor. An earlier version documented the clamp as "stays
+// positive" while the code clamped at 0.5 — this pins both the value
+// and the Scale/Factor agreement.
+func TestScaleAndFactorClampIdentically(t *testing.T) {
+	const d = time.Second
+	// A huge relative deviation makes nearly every draw hit the clamp.
+	a := NewJitter(42, 50)
+	b := NewJitter(42, 50)
+	var clamped bool
+	for i := 0; i < 1000; i++ {
+		f := a.Factor()
+		got := b.Scale(d)
+		want := time.Duration(float64(d) * f)
+		if got != want {
+			t.Fatalf("draw %d: Scale = %v but Factor implies %v", i, got, want)
+		}
+		if f < minFactor {
+			t.Fatalf("draw %d: Factor %v below the clamp %v", i, f, minFactor)
+		}
+		if f == minFactor {
+			clamped = true
+		}
+		if got < time.Duration(minFactor*float64(d)) {
+			t.Fatalf("draw %d: Scale %v implies a factor below the clamp", i, got)
+		}
+	}
+	if !clamped {
+		t.Error("with rel=50 the clamp should trigger; it never did")
+	}
+}
+
+func TestClampFactorValue(t *testing.T) {
+	if minFactor != 0.5 {
+		t.Fatalf("minFactor = %v; the docs promise 0.5", minFactor)
+	}
+	for _, c := range []struct{ in, want float64 }{
+		{-3, 0.5}, {0, 0.5}, {0.49, 0.5}, {0.5, 0.5}, {0.51, 0.51}, {1, 1}, {2.5, 2.5},
+	} {
+		if got := clampFactor(c.in); got != c.want {
+			t.Errorf("clampFactor(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

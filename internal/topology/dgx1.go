@@ -54,6 +54,63 @@ func DGX1() *Topology {
 // producing the PCIe-only machine (the baseline the NVLink-vs-PCIe
 // comparisons in the paper's related work use).
 func DGX1Scaled(nvlinkScale float64) *Topology {
+	return dgx1Build(nvlinkScale, DGX1FaultSpec{})
+}
+
+// DGX1PCIeOnly builds the DGX-1 chassis without NVLink: all GPU-to-GPU
+// traffic crosses the PCIe root complexes (and QPI across sockets).
+func DGX1PCIeOnly() *Topology {
+	return DGX1Scaled(0)
+}
+
+// DGX1FaultSpec parameterizes the degraded-fabric DGX-1 builder. All
+// fields describe departures from the healthy machine; the zero value
+// builds the ordinary DGX1().
+type DGX1FaultSpec struct {
+	// FailedNVLinks lists NVLink connections removed entirely (failed
+	// bricks). Pair order does not matter.
+	FailedNVLinks [][2]NodeID
+	// DegradedNVLinks scales the bandwidth of specific surviving NVLink
+	// connections: the value is the remaining fraction in (0, 1]. Keys are
+	// canonicalized internally, so either pair order works.
+	DegradedNVLinks map[[2]NodeID]float64
+	// PCIeScale is the remaining fraction of every PCIe link's bandwidth
+	// (host contention on the root complexes). <= 0 or >= 1 leaves PCIe
+	// at full speed.
+	PCIeScale float64
+}
+
+// DGX1Degraded builds the DGX-1 with the listed NVLink connections removed
+// (failed bricks) — the failure-injection variant used to check that ring
+// construction and routing degrade gracefully rather than break.
+func DGX1Degraded(failed ...[2]NodeID) *Topology {
+	return DGX1Faulted(DGX1FaultSpec{FailedNVLinks: failed})
+}
+
+// DGX1Faulted builds the DGX-1 with the fault spec applied: failed bricks
+// are absent from the link set (so ring construction and routing see the
+// degraded graph, not a zero-bandwidth edge), degraded links keep their
+// lanes but lose bandwidth, and PCIe contention shrinks every host link.
+func DGX1Faulted(f DGX1FaultSpec) *Topology {
+	return dgx1Build(1, f)
+}
+
+// dgx1Build is the one DGX-1 chassis builder behind DGX1, DGX1Scaled,
+// DGX1Degraded, and DGX1Faulted.
+func dgx1Build(nvlinkScale float64, f DGX1FaultSpec) *Topology {
+	bad := make(map[pairKey]bool, len(f.FailedNVLinks))
+	for _, p := range f.FailedNVLinks {
+		bad[normPair(p[0], p[1])] = true
+	}
+	slow := make(map[pairKey]float64, len(f.DegradedNVLinks))
+	for p, frac := range f.DegradedNVLinks {
+		slow[normPair(p[0], p[1])] = frac
+	}
+	pcieScale := f.PCIeScale
+	if pcieScale <= 0 || pcieScale >= 1 {
+		pcieScale = 1
+	}
+
 	t := New()
 	const nGPU = 8
 	for i := 0; i < nGPU; i++ {
@@ -70,9 +127,16 @@ func DGX1Scaled(nvlinkScale float64) *Topology {
 
 	if nvlinkScale > 0 {
 		for _, e := range dgx1NVLinks {
+			if bad[normPair(e.a, e.b)] {
+				continue
+			}
+			bw := float64(e.lanes) * nvlinkScale * float64(NVLinkBrickBW)
+			if frac, ok := slow[normPair(e.a, e.b)]; ok && frac > 0 && frac < 1 {
+				bw *= frac
+			}
 			mustAdd(t.AddLink(Link{
 				A: e.a, B: e.b, Type: NVLink, Lanes: e.lanes,
-				BW:      units.Bandwidth(float64(e.lanes) * nvlinkScale * float64(NVLinkBrickBW)),
+				BW:      units.Bandwidth(bw),
 				Latency: NVLinkLatency,
 			}))
 		}
@@ -84,70 +148,36 @@ func DGX1Scaled(nvlinkScale float64) *Topology {
 		}
 		mustAdd(t.AddLink(Link{
 			A: NodeID(i), B: host, Type: PCIe, Lanes: 1,
-			BW: PCIeGen3x16BW, Latency: PCIeLatency,
+			BW: units.Bandwidth(pcieScale * float64(PCIeGen3x16BW)), Latency: PCIeLatency,
 		}))
 	}
 	mustAdd(t.AddLink(Link{A: cpu0, B: cpu1, Type: QPI, Lanes: 1, BW: QPIBW, Latency: QPILatency}))
 	return t
 }
 
-// DGX1PCIeOnly builds the DGX-1 chassis without NVLink: all GPU-to-GPU
-// traffic crosses the PCIe root complexes (and QPI across sockets).
-func DGX1PCIeOnly() *Topology {
-	return DGX1Scaled(0)
-}
-
-// DGX1Degraded builds the DGX-1 with the listed NVLink connections removed
-// (failed bricks) — the failure-injection variant used to check that ring
-// construction and routing degrade gracefully rather than break.
-func DGX1Degraded(failed ...[2]NodeID) *Topology {
-	bad := make(map[pairKey]bool, len(failed))
-	for _, f := range failed {
-		a, b := f[0], f[1]
-		if a > b {
-			a, b = b, a
-		}
-		bad[pairKey{a, b}] = true
-	}
-	t := New()
-	const nGPU = 8
-	for i := 0; i < nGPU; i++ {
-		socket := 0
-		if i >= 4 {
-			socket = 1
-		}
-		mustAdd(t.AddNode(Node{ID: NodeID(i), Kind: GPU, Name: fmt.Sprintf("GPU%d", i), Socket: socket}))
-	}
-	cpu0 := NodeID(nGPU)
-	cpu1 := NodeID(nGPU + 1)
-	mustAdd(t.AddNode(Node{ID: cpu0, Kind: CPU, Name: "CPU0", Socket: 0}))
-	mustAdd(t.AddNode(Node{ID: cpu1, Kind: CPU, Name: "CPU1", Socket: 1}))
+// DGX1HasNVLink reports whether the healthy Volta DGX-1 wires a direct
+// NVLink connection between the two GPUs — the existence check fault
+// plans use to reject typo'd link references before building anything.
+func DGX1HasNVLink(a, b NodeID) bool {
+	p := normPair(a, b)
 	for _, e := range dgx1NVLinks {
-		if bad[pairKey{e.a, e.b}] {
-			continue
+		if normPair(e.a, e.b) == p {
+			return true
 		}
-		mustAdd(t.AddLink(Link{
-			A: e.a, B: e.b, Type: NVLink, Lanes: e.lanes,
-			BW:      units.Bandwidth(e.lanes) * NVLinkBrickBW,
-			Latency: NVLinkLatency,
-		}))
 	}
-	for i := 0; i < nGPU; i++ {
-		host := cpu0
-		if i >= 4 {
-			host = cpu1
-		}
-		mustAdd(t.AddLink(Link{
-			A: NodeID(i), B: host, Type: PCIe, Lanes: 1,
-			BW: PCIeGen3x16BW, Latency: PCIeLatency,
-		}))
-	}
-	mustAdd(t.AddLink(Link{A: cpu0, B: cpu1, Type: QPI, Lanes: 1, BW: QPIBW, Latency: QPILatency}))
-	return t
+	return false
 }
 
 // pairKey is an unordered GPU pair.
 type pairKey struct{ a, b NodeID }
+
+// normPair canonicalizes an unordered pair.
+func normPair(a, b NodeID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
 
 // DGX1Pascal builds the first-generation (Pascal) DGX-1 interconnect: the
 // same chassis but NVLink 1.0 bricks at 20 GB/s and only 4 ports per P100,

@@ -3,6 +3,7 @@ package train
 import (
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/kvstore"
 	"repro/internal/nccl"
 	"repro/internal/topology"
@@ -12,22 +13,100 @@ import (
 // gracefully, never break training.
 
 func TestDegradedRingEdgeLosesOneRing(t *testing.T) {
-	// 0-1 carries one lane of each 8-GPU Hamiltonian ring; removing it
-	// leaves at most... zero NVLink rings through all 8 GPUs that avoid
-	// the 0-1 edge may still exist — what matters is the builder finds
-	// strictly fewer rings and never reuses missing capacity.
+	// An earlier version of this test hid both assertions under a
+	// conditional that never held, so it passed vacuously. The real
+	// invariants: removing the 0-1 brick can only shrink the ring set,
+	// and whatever rings survive must never route over the failed edge.
 	full := nccl.BuildRings(topology.DGX1(), gpus8(), 2)
+	if len(full) == 0 {
+		t.Fatal("healthy DGX-1 must yield at least one 8-GPU NVLink ring")
+	}
 	degraded := nccl.BuildRings(topology.DGX1Degraded([2]topology.NodeID{0, 1}), gpus8(), 2)
-	if len(degraded) >= len(full) && len(full) == 2 {
-		// Equal count is acceptable only if rings avoid the failed edge.
-		for _, r := range degraded {
-			for i := range r.Order {
-				a, b := r.Order[i], r.Order[(i+1)%len(r.Order)]
-				if (a == 0 && b == 1) || (a == 1 && b == 0) {
-					t.Fatal("degraded ring uses the failed link")
-				}
+	if len(degraded) > len(full) {
+		t.Errorf("removing a link grew the ring set: %d rings vs %d healthy",
+			len(degraded), len(full))
+	}
+	for _, r := range degraded {
+		for i := range r.Order {
+			a, b := r.Order[i], r.Order[(i+1)%len(r.Order)]
+			if (a == 0 && b == 1) || (a == 1 && b == 0) {
+				t.Fatalf("degraded ring %v uses the failed link 0-1", r.Order)
 			}
 		}
+	}
+}
+
+func TestFaultPlanWUStrictlyIncreases(t *testing.T) {
+	// The acceptance bar for fault plans: taking NVLink bricks away from
+	// GPU0 (0-1 and 0-2 leaves it only two single lanes) must strictly
+	// increase the exposed weight-update time of an 8-GPU NCCL run —
+	// fewer/narrower rings, slower all-reduce.
+	run := func(plan *faults.Plan) *Result {
+		t.Helper()
+		cfg, err := NewConfig("alexnet", 8, 16, kvstore.MethodNCCL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Images = 4096
+		cfg.Faults = plan
+		tr, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	healthy := run(nil)
+	faulted := run(&faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 1}, {A: 0, B: 2}}})
+	if faulted.WUWall <= healthy.WUWall {
+		t.Errorf("removing bricks 0-1 and 0-2 must strictly increase WU: faulted %v vs healthy %v",
+			faulted.WUWall, healthy.WUWall)
+	}
+	if faulted.EpochTime <= healthy.EpochTime {
+		t.Errorf("removing bricks 0-1 and 0-2 must strictly increase epoch time: %v vs %v",
+			faulted.EpochTime, healthy.EpochTime)
+	}
+}
+
+func TestFaultPlanStragglerSlowsEpoch(t *testing.T) {
+	run := func(plan *faults.Plan) *Result {
+		t.Helper()
+		cfg, err := NewConfig("lenet", 4, 16, kvstore.MethodNCCL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Images = 4096
+		cfg.Faults = plan
+		tr, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	healthy := run(nil)
+	slowed := run(&faults.Plan{Stragglers: []faults.Straggler{{GPU: 2, Slowdown: 2}}})
+	if slowed.EpochTime <= healthy.EpochTime {
+		t.Errorf("a 2x straggler must slow the epoch: %v vs %v",
+			slowed.EpochTime, healthy.EpochTime)
+	}
+}
+
+func TestFaultPlanRejectsExplicitTopology(t *testing.T) {
+	cfg, err := NewConfig("lenet", 2, 16, kvstore.MethodNCCL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Topology = topology.DGX1()
+	cfg.Faults = &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 1}}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("Config with both Topology and Faults must be rejected")
 	}
 }
 

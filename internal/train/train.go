@@ -17,6 +17,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/data"
 	"repro/internal/dnn"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/interconnect"
 	"repro/internal/kvstore"
@@ -62,6 +63,11 @@ type Config struct {
 	// Topology overrides the machine (default: the DGX-1). Ablations use
 	// topology.DGX1Scaled / DGX1PCIeOnly to explore interconnect variants.
 	Topology *topology.Topology
+	// Faults injects a degraded-fabric plan (failed NVLink bricks, link
+	// bandwidth loss, straggler GPUs, PCIe contention) into the default
+	// DGX-1. Mutually exclusive with Topology: a fault plan describes
+	// departures from the stock machine, not from an arbitrary override.
+	Faults *faults.Plan
 	// GPUSpec overrides the device model (default: the V100).
 	GPUSpec *gpu.Spec
 	// Parallelism selects how the network is distributed (default: data
@@ -154,6 +160,13 @@ func (c *Config) normalize() error {
 	}
 	if c.SimIters < 2 {
 		c.SimIters = DefaultSimIters
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	c.Faults = c.Faults.Normalize()
+	if c.Faults != nil && c.Topology != nil {
+		return fmt.Errorf("train: fault plans describe the default DGX-1; clear Config.Topology")
 	}
 	return nil
 }
@@ -254,7 +267,11 @@ func New(cfg Config) (*Trainer, error) {
 	eng := sim.NewEngine()
 	top := cfg.Topology
 	if top == nil {
-		top = topology.DGX1()
+		// The fault plan owns the fabric: failed bricks vanish from the
+		// link graph (ring search and routing see the degraded machine),
+		// degraded links lose bandwidth, PCIe contention shrinks the host
+		// links. A nil plan builds the healthy DGX-1.
+		top = cfg.Faults.Topology()
 	}
 	if err := top.Validate(); err != nil {
 		return nil, err
@@ -292,7 +309,9 @@ func New(cfg Config) (*Trainer, error) {
 	if cfg.GPUSpec != nil {
 		spec = *cfg.GPUSpec
 	}
-	rt, err := cuda.NewRuntime(fab, spec, devs, cuda.DefaultCosts(), prof)
+	// Straggler GPUs run a uniformly slowed spec; healthy devices keep the
+	// base spec.
+	rt, err := cuda.NewRuntimeWithSpecs(fab, spec, cfg.Faults.Specs(spec), devs, cuda.DefaultCosts(), prof)
 	if err != nil {
 		return nil, err
 	}
