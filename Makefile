@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-json serve experiments examples clean
+.PHONY: all build test test-race vet fmt-check smoke bench bench-json serve experiments examples clean
 
-all: build vet test
+all: build vet fmt-check test
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,18 @@ test:
 # detector gates them (CI runs this).
 test-race:
 	$(GO) test -race ./...
+
+# Fail if any file is not gofmt-formatted (CI runs this).
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Build the daemon, start it, and exercise the observability surface
+# end to end (traced request, /v1/trace, /metrics, pprof).
+smoke:
+	./scripts/smoke.sh
 
 # Run the simulation service (see README "Running the server").
 serve:

@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	dgxsimd -addr :8080 -workers 8 -cache 1024 -timeout 60s
+//	dgxsimd -addr :8080 -workers 8 -cache 1024 -timeout 60s -pprof
 //
 //	curl -s localhost:8080/v1/simulate -d '{"Model":"resnet","GPUs":4,"Batch":32}'
 //	curl -s localhost:8080/v1/simulate -d '{"Model":"alexnet","GPUs":8,"Batch":16,"faults":{"failedLinks":[{"a":0,"b":1}]}}'
 //	curl -s localhost:8080/v1/sweep -d '{"Models":["lenet","alexnet"],"GPUs":[1,2,4,8],"Batches":[16],"Methods":["p2p","nccl"]}'
 //	curl -s localhost:8080/v1/validate -d '{"Model":"resnet","GPUs":16,"Batch":32}'
 //	curl -s localhost:8080/metrics
+//
+// Observability: every response carries an X-Request-ID; a request body
+// with "trace": true retains the simulator's stage intervals, and
+// GET /v1/trace/{id} replays that request's timeline (service spans +
+// FP/BP/WU stages) as a Chrome trace. Each request also emits one JSON
+// access-log line on stderr (disable with -access-log=false), and -pprof
+// mounts net/http/pprof under /debug/pprof/.
 //
 // Request and response bodies carry a schemaVersion field (currently 1);
 // requests may omit it, and any other value is rejected with 400.
@@ -25,8 +32,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,24 +46,48 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
-		cache   = flag.Int("cache", 0, "result-cache capacity in reports (0 = default 1024)")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-request simulation timeout")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+		cache     = flag.Int("cache", 0, "result-cache capacity in reports (0 = default 1024)")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-request simulation timeout")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		traces    = flag.Int("trace-store", 0, "recent request traces retained for /v1/trace (0 = default 256)")
+		accessLog = flag.Bool("access-log", true, "emit one JSON access-log line per request on stderr")
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
+	var logSink io.Writer
+	if *accessLog {
+		logSink = os.Stderr
+	}
 	svc := service.NewServer(service.Config{
-		Workers:   *workers,
-		CacheSize: *cache,
-		Timeout:   *timeout,
+		Workers:    *workers,
+		CacheSize:  *cache,
+		Timeout:    *timeout,
+		TraceStore: *traces,
+		AccessLog:  logSink,
 	})
 	defer svc.Close()
 
+	handler := svc.Handler()
+	if *pprofFlag {
+		// The profiler endpoints ride on the same listener, mounted
+		// explicitly (importing net/http/pprof for its side effect would
+		// pollute http.DefaultServeMux, which we do not serve).
+		mux := http.NewServeMux()
+		mux.Handle("/", svc.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: svc.Handler(),
+		Handler: handler,
 		// Slow-client hardening: bound header and body reads and reap
 		// idle keep-alive connections. Response writes stay unbounded —
 		// a sweep may legitimately simulate for the full -timeout before

@@ -21,6 +21,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/memmodel"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 )
 
@@ -172,10 +173,16 @@ func RunMany(ctx context.Context, ws []Workload) ([]*Report, error) {
 // the worker goroutine finishes its epoch in the background and its
 // result is discarded — but callers (per-request server timeouts, sweep
 // cancellation) regain control as soon as the context expires.
+//
+// When the context carries a request trace (internal/obs), the run
+// records a "core.Run <model>" span into it, so service-layer timelines
+// attribute the simulation to its workload without the caller doing
+// anything.
 func RunContext(ctx context.Context, w Workload) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	defer obs.FromContext(ctx).StartSpan("core.Run " + w.Model)()
 	type outcome struct {
 		r   *Report
 		err error

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/gpu"
+	"repro/internal/obs"
 )
 
 func TestRunBasics(t *testing.T) {
@@ -105,6 +107,24 @@ func TestTraceIntervalsFlowThrough(t *testing.T) {
 	}
 	if len(r.Profile.Intervals()) == 0 {
 		t.Error("trace intervals not retained")
+	}
+}
+
+// RunContext must record its span into a request trace carried by the
+// context — the hook the service's /v1/trace timelines rely on — and
+// stay silent (not crash) when the context carries none.
+func TestRunContextRecordsObsSpan(t *testing.T) {
+	tr := obs.NewTrace("req1")
+	ctx := obs.WithTrace(context.Background(), tr)
+	if _, err := RunContext(ctx, Workload{Model: "lenet", GPUs: 1, Batch: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Dur("core.Run lenet"); got <= 0 {
+		t.Errorf("core.Run span duration = %v, want > 0", got)
+	}
+	// No trace in context: still works.
+	if _, err := RunContext(context.Background(), Workload{Model: "lenet", GPUs: 1, Batch: 16}); err != nil {
+		t.Fatal(err)
 	}
 }
 

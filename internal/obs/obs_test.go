@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d, want 16", id, len(id))
+		}
+		for _, c := range id {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("id %q is not lowercase hex", id)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("id %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceRecordsSpans(t *testing.T) {
+	tr := NewTrace("abc")
+	end := tr.StartSpan("decode")
+	time.Sleep(time.Millisecond)
+	end()
+	base := time.Now()
+	tr.AddSpan("simulate", base, base.Add(5*time.Millisecond))
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "decode" || spans[0].Dur <= 0 {
+		t.Errorf("decode span = %+v", spans[0])
+	}
+	if spans[1].Name != "simulate" || spans[1].Dur != 5*time.Millisecond {
+		t.Errorf("simulate span = %+v", spans[1])
+	}
+	if spans[1].Start < spans[0].Start {
+		t.Error("spans should be offset from the trace start in order")
+	}
+}
+
+// Dur must aggregate prefixed instances of a name, so a sweep's
+// "cell[i] simulate" spans roll up into one simulate total.
+func TestTraceDurSumsPrefixedSpans(t *testing.T) {
+	tr := NewTrace("abc")
+	base := time.Now()
+	tr.AddSpan("simulate", base, base.Add(2*time.Millisecond))
+	tr.AddSpan("cell[0] simulate", base, base.Add(3*time.Millisecond))
+	tr.AddSpan("cell[1] simulate", base, base.Add(4*time.Millisecond))
+	tr.AddSpan("decode", base, base.Add(100*time.Millisecond))
+	tr.AddSpan("resimulate", base, base.Add(time.Millisecond)) // suffix but not a word match
+	if got, want := tr.Dur("simulate"), 9*time.Millisecond; got != want {
+		t.Errorf("Dur(simulate) = %v, want %v", got, want)
+	}
+	if got := tr.Dur("missing"); got != 0 {
+		t.Errorf("Dur(missing) = %v, want 0", got)
+	}
+}
+
+// A nil *Trace must be a usable no-op recorder, so instrumented code
+// never branches on whether tracing is on.
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x")()
+	tr.AddSpan("y", time.Now(), time.Now())
+	tr.Attach("z", 1)
+	if tr.Spans() != nil || tr.Attachments() != nil || tr.Dur("x") != 0 {
+		t.Error("nil trace should report nothing")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("empty context returned trace %v", got)
+	}
+	tr := NewTrace("abc")
+	ctx := WithTrace(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %v, want the stored trace", got)
+	}
+}
+
+func TestTraceAttachments(t *testing.T) {
+	tr := NewTrace("abc")
+	tr.Attach("profile", 42)
+	tr.Attach("cell[1] profile", "v")
+	atts := tr.Attachments()
+	if len(atts) != 2 || atts[0].Label != "profile" || atts[0].Value != 42 {
+		t.Fatalf("attachments = %+v", atts)
+	}
+}
+
+func TestStoreEvictsOldestFirst(t *testing.T) {
+	s := NewStore(3)
+	for i := 0; i < 5; i++ {
+		s.Put(NewTrace(fmt.Sprintf("id%d", i)))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("store holds %d traces, want 3", s.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Get(fmt.Sprintf("id%d", i)); ok {
+			t.Errorf("id%d should have been evicted", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := s.Get(fmt.Sprintf("id%d", i)); !ok {
+			t.Errorf("id%d should be retained", i)
+		}
+	}
+}
+
+func TestStoreRefreshDoesNotDuplicate(t *testing.T) {
+	s := NewStore(2)
+	s.Put(NewTrace("a"))
+	s.Put(NewTrace("a"))
+	s.Put(NewTrace("b"))
+	if s.Len() != 2 {
+		t.Fatalf("store holds %d traces, want 2", s.Len())
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Error("refreshed id should still be present")
+	}
+}
+
+func TestStoreDefaultSize(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < DefaultStoreSize+10; i++ {
+		s.Put(NewTrace(fmt.Sprintf("id%d", i)))
+	}
+	if s.Len() != DefaultStoreSize {
+		t.Fatalf("default store holds %d, want %d", s.Len(), DefaultStoreSize)
+	}
+}
+
+// Concurrent span recording and store traffic under -race: a sweep's
+// pool tasks all write into the one request trace.
+func TestTraceAndStoreConcurrency(t *testing.T) {
+	tr := NewTrace("abc")
+	s := NewStore(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				end := tr.StartSpan(fmt.Sprintf("cell[%d] simulate", g))
+				end()
+				tr.Attach("profile", g)
+				_ = tr.Spans()
+				_ = tr.Dur("simulate")
+				s.Put(NewTrace(fmt.Sprintf("id%d-%d", g, i)))
+				s.Get("abc")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Errorf("recorded %d spans, want 800", got)
+	}
+}

@@ -132,9 +132,9 @@ func TestExportChromeTrace(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	// 2 thread-name metadata + 2 activity events.
-	if len(out.TraceEvents) != 4 {
-		t.Fatalf("events = %d, want 4", len(out.TraceEvents))
+	// 1 process-name + 2 thread-name metadata + 2 activity events.
+	if len(out.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(out.TraceEvents))
 	}
 	var sawConv bool
 	for _, ev := range out.TraceEvents {

@@ -21,7 +21,9 @@ type chromeEvent struct {
 
 // ExportChromeTrace writes the retained detailed intervals in Chrome
 // trace-event JSON (load via chrome://tracing or Perfetto). Tracks map to
-// thread IDs; all activity shares one process.
+// thread IDs; all activity shares one process, named "dgxsim" via a
+// process_name metadata event so multi-trace comparisons in Perfetto
+// stay labeled. An empty profile exports an empty (but valid) document.
 func (p *Profile) ExportChromeTrace(w io.Writer) error {
 	ivs := p.Intervals()
 	// Stable track numbering: sorted track names.
@@ -39,7 +41,15 @@ func (p *Profile) ExportChromeTrace(w io.Writer) error {
 		tid[t] = i + 1
 	}
 
-	events := make([]chromeEvent, 0, len(ivs)+len(tracks))
+	events := make([]chromeEvent, 0, len(ivs)+len(tracks)+1)
+	if len(ivs) > 0 {
+		events = append(events, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   1,
+			Args:  map[string]string{"name": "dgxsim"},
+		})
+	}
 	for name, id := range tid {
 		events = append(events, chromeEvent{
 			Name:  "thread_name",

@@ -22,6 +22,7 @@ func TestExportChromeTraceGolden(t *testing.T) {
 	})
 
 	const want = `{"traceEvents":[` +
+		`{"name":"process_name","cat":"","ph":"M","ts":0,"dur":0,"pid":1,"tid":0,"args":{"name":"dgxsim"}},` +
 		`{"name":"thread_name","cat":"","ph":"M","ts":0,"dur":0,"pid":1,"tid":1,"args":{"name":"gpu0"}},` +
 		`{"name":"thread_name","cat":"","ph":"M","ts":0,"dur":0,"pid":1,"tid":2,"args":{"name":"link0-1"}},` +
 		`{"name":"volta_sgemm","cat":"kernel","ph":"X","ts":1,"dur":2,"pid":1,"tid":1,"args":{"stage":"FP"}},` +

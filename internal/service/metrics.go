@@ -14,8 +14,17 @@ import (
 // memory no matter how long the daemon runs.
 const latencyWindow = 512
 
-// metrics aggregates per-endpoint request counters and recent-latency
-// percentiles for the plain-text /metrics endpoint.
+// latencyBuckets are the fixed histogram upper bounds (seconds) for the
+// Prometheus-style cumulative series. The window percentiles above give
+// a recent view; the histograms accumulate forever, so a scraper can
+// rate() them across the daemon's whole life. Bounds span the observed
+// range: cache hits land in the low-millisecond buckets, cold
+// inception-class simulations in the seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// metrics aggregates per-endpoint request counters, recent-latency
+// percentiles, cumulative latency histograms, and in-flight gauges for
+// the plain-text /metrics endpoint.
 type metrics struct {
 	mu        sync.Mutex
 	start     time.Time
@@ -25,22 +34,45 @@ type metrics struct {
 type endpointMetrics struct {
 	requests uint64
 	errors   uint64
+	inflight int64
 	window   []time.Duration // ring buffer of the latest latencies
 	next     int
+
+	// Cumulative histogram: buckets[i] counts observations <=
+	// latencyBuckets[i]; the +Inf bucket is the request count.
+	buckets []uint64
+	sum     time.Duration
 }
 
 func newMetrics() *metrics {
 	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
 }
 
-// observe records one request's outcome.
+// endpoint returns the (created-on-first-use) record for a path. Callers
+// must hold mu.
+func (m *metrics) endpoint(path string) *endpointMetrics {
+	e := m.endpoints[path]
+	if e == nil {
+		e = &endpointMetrics{buckets: make([]uint64, len(latencyBuckets))}
+		m.endpoints[path] = e
+	}
+	return e
+}
+
+// startRequest marks a request in flight on its endpoint.
+func (m *metrics) startRequest(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.endpoint(path).inflight++
+}
+
+// observe records one request's outcome and takes it out of flight.
 func (m *metrics) observe(path string, d time.Duration, failed bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	e := m.endpoints[path]
-	if e == nil {
-		e = &endpointMetrics{}
-		m.endpoints[path] = e
+	e := m.endpoint(path)
+	if e.inflight > 0 {
+		e.inflight--
 	}
 	e.requests++
 	if failed {
@@ -52,6 +84,13 @@ func (m *metrics) observe(path string, d time.Duration, failed bool) {
 		e.window[e.next] = d
 		e.next = (e.next + 1) % latencyWindow
 	}
+	secs := d.Seconds()
+	for i, le := range latencyBuckets {
+		if secs <= le {
+			e.buckets[i]++
+		}
+	}
+	e.sum += d
 }
 
 // quantile returns the q-th (0..1) latency of a sorted window using the
@@ -74,8 +113,9 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[rank-1]
 }
 
-// render writes the exposition text: request counts, error counts and
-// latency percentiles per endpoint, plus the cache and pool gauges.
+// render writes the exposition text: request counts, error counts,
+// in-flight gauges, latency percentiles and cumulative histograms per
+// endpoint, plus the cache and pool gauges.
 func (m *metrics) render(cs CacheStats, ps PoolStats) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -92,6 +132,7 @@ func (m *metrics) render(cs CacheStats, ps PoolStats) string {
 		e := m.endpoints[p]
 		fmt.Fprintf(&b, "dgxsimd_requests_total{path=%q} %d\n", p, e.requests)
 		fmt.Fprintf(&b, "dgxsimd_request_errors_total{path=%q} %d\n", p, e.errors)
+		fmt.Fprintf(&b, "dgxsimd_inflight{path=%q} %d\n", p, e.inflight)
 		sorted := append([]time.Duration(nil), e.window...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		for _, q := range []struct {
@@ -101,6 +142,13 @@ func (m *metrics) render(cs CacheStats, ps PoolStats) string {
 			fmt.Fprintf(&b, "dgxsimd_latency_seconds{path=%q,quantile=%q} %.6f\n",
 				p, q.label, quantile(sorted, q.v).Seconds())
 		}
+		for i, le := range latencyBuckets {
+			fmt.Fprintf(&b, "dgxsimd_request_duration_seconds_bucket{path=%q,le=\"%g\"} %d\n",
+				p, le, e.buckets[i])
+		}
+		fmt.Fprintf(&b, "dgxsimd_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", p, e.requests)
+		fmt.Fprintf(&b, "dgxsimd_request_duration_seconds_sum{path=%q} %.6f\n", p, e.sum.Seconds())
+		fmt.Fprintf(&b, "dgxsimd_request_duration_seconds_count{path=%q} %d\n", p, e.requests)
 	}
 
 	fmt.Fprintf(&b, "dgxsimd_cache_size %d\n", cs.Size)
@@ -113,5 +161,7 @@ func (m *metrics) render(cs CacheStats, ps PoolStats) string {
 	fmt.Fprintf(&b, "dgxsimd_pool_queued %d\n", ps.Queued)
 	fmt.Fprintf(&b, "dgxsimd_pool_active %d\n", ps.Active)
 	fmt.Fprintf(&b, "dgxsimd_pool_completed_total %d\n", ps.Completed)
+	fmt.Fprintf(&b, "dgxsimd_pool_panics_total %d\n", ps.Panics)
+	fmt.Fprintf(&b, "dgxsimd_pool_queue_wait_seconds_total %.6f\n", ps.QueueWait.Seconds())
 	return b.String()
 }

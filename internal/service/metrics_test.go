@@ -1,6 +1,9 @@
 package service
 
 import (
+	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -43,4 +46,127 @@ func mkRange(n int) []time.Duration {
 		out[i] = time.Duration(i+1) * time.Millisecond
 	}
 	return out
+}
+
+// metricLine extracts the value of the first exposition line with the
+// given prefix.
+func metricLine(t *testing.T, text, prefix string) string {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return strings.TrimSpace(strings.TrimPrefix(line, prefix))
+		}
+	}
+	t.Fatalf("metrics output missing %q:\n%s", prefix, text)
+	return ""
+}
+
+// Once the ring buffer has wrapped (>= latencyWindow observations), the
+// percentiles must describe the *recent* window only: a latency regime
+// change fully replaces the old samples after one window's worth of
+// requests.
+func TestLatencyWindowWrapAroundKeepsRecentOnly(t *testing.T) {
+	m := newMetrics()
+	// Old regime: a full window of 1ms requests.
+	for i := 0; i < latencyWindow; i++ {
+		m.observe("/x", time.Millisecond, false)
+	}
+	// New regime: a full window of 100ms requests wraps the ring.
+	for i := 0; i < latencyWindow; i++ {
+		m.observe("/x", 100*time.Millisecond, false)
+	}
+	out := m.render(CacheStats{}, PoolStats{})
+	for _, q := range []string{"0.5", "0.9", "0.99"} {
+		got := metricLine(t, out, `dgxsimd_latency_seconds{path="/x",quantile="`+q+`"} `)
+		if got != "0.100000" {
+			t.Errorf("p%s after wrap = %s, want 0.100000 (old samples must be gone)", q, got)
+		}
+	}
+	// A half-window of the old regime must still show at p50 before the
+	// wrap completes.
+	m2 := newMetrics()
+	for i := 0; i < latencyWindow; i++ {
+		m2.observe("/y", time.Millisecond, false)
+	}
+	for i := 0; i < latencyWindow/2; i++ {
+		m2.observe("/y", 100*time.Millisecond, false)
+	}
+	out2 := m2.render(CacheStats{}, PoolStats{})
+	if got := metricLine(t, out2, `dgxsimd_latency_seconds{path="/y",quantile="0.5"} `); got != "0.001000" {
+		t.Errorf("p50 mid-wrap = %s, want 0.001000 (half the window is still old)", got)
+	}
+	if got := metricLine(t, out2, `dgxsimd_latency_seconds{path="/y",quantile="0.99"} `); got != "0.100000" {
+		t.Errorf("p99 mid-wrap = %s, want 0.100000", got)
+	}
+}
+
+// observe and render race-free under concurrent use (run with -race).
+func TestMetricsObserveRenderConcurrent(t *testing.T) {
+	m := newMetrics()
+	var observers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		observers.Add(1)
+		go func(g int) {
+			defer observers.Done()
+			path := fmt.Sprintf("/p%d", g%2)
+			for i := 0; i < 2*latencyWindow; i++ {
+				m.startRequest(path)
+				m.observe(path, time.Duration(i)*time.Microsecond, i%7 == 0)
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var renderer sync.WaitGroup
+	renderer.Add(1)
+	go func() {
+		defer renderer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = m.render(CacheStats{}, PoolStats{})
+			}
+		}
+	}()
+	observers.Wait()
+	close(stop)
+	renderer.Wait()
+	out := m.render(CacheStats{}, PoolStats{})
+	if got := metricLine(t, out, `dgxsimd_requests_total{path="/p0"} `); got != fmt.Sprint(4*latencyWindow) {
+		t.Errorf("requests_total = %s, want %d", got, 4*latencyWindow)
+	}
+}
+
+// The cumulative histogram renders monotone buckets with exact sum and
+// count, and the in-flight gauge returns to zero after observe.
+func TestMetricsHistogramAndInflight(t *testing.T) {
+	m := newMetrics()
+	m.startRequest("/x")
+	out := m.render(CacheStats{}, PoolStats{})
+	if got := metricLine(t, out, `dgxsimd_inflight{path="/x"} `); got != "1" {
+		t.Errorf("inflight during request = %s, want 1", got)
+	}
+	m.observe("/x", 3*time.Millisecond, false)
+	m.startRequest("/x")
+	m.observe("/x", 700*time.Millisecond, false)
+	out = m.render(CacheStats{}, PoolStats{Panics: 2, QueueWait: 1500 * time.Millisecond})
+
+	cases := []struct{ prefix, want string }{
+		{`dgxsimd_inflight{path="/x"} `, "0"},
+		{`dgxsimd_request_duration_seconds_bucket{path="/x",le="0.001"} `, "0"},
+		{`dgxsimd_request_duration_seconds_bucket{path="/x",le="0.005"} `, "1"},
+		{`dgxsimd_request_duration_seconds_bucket{path="/x",le="0.5"} `, "1"},
+		{`dgxsimd_request_duration_seconds_bucket{path="/x",le="1"} `, "2"},
+		{`dgxsimd_request_duration_seconds_bucket{path="/x",le="+Inf"} `, "2"},
+		{`dgxsimd_request_duration_seconds_sum{path="/x"} `, "0.703000"},
+		{`dgxsimd_request_duration_seconds_count{path="/x"} `, "2"},
+		{`dgxsimd_pool_panics_total `, "2"},
+		{`dgxsimd_pool_queue_wait_seconds_total `, "1.500000"},
+	}
+	for _, c := range cases {
+		if got := metricLine(t, out, c.prefix); got != c.want {
+			t.Errorf("%s= %s, want %s", c.prefix, got, c.want)
+		}
+	}
 }

@@ -1,0 +1,298 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tracedLenet is the canonical trace-opt-in request body: a fast
+// workload plus the "trace": true flag that retains simulator intervals.
+func tracedLenet() map[string]any {
+	return map[string]any{
+		"Model": "lenet", "GPUs": 2, "Batch": 16, "Images": int64(4096),
+		"trace": true,
+	}
+}
+
+// Every response must carry an X-Request-ID; a client-supplied one must
+// be propagated, not replaced.
+func TestRequestIDAssignedAndPropagated(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); len(id) != 16 {
+		t.Errorf("assigned X-Request-ID = %q, want a 16-char id", id)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "client-chosen-id")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "client-chosen-id" {
+		t.Errorf("propagated X-Request-ID = %q, want the client's", got)
+	}
+}
+
+// The acceptance path: a "trace": true simulate returns an
+// X-Request-ID, and GET /v1/trace/{id} serves a Chrome trace holding
+// both the service spans (decode/queue-wait/cache-lookup/simulate/
+// encode) and the inner FP/BP/WU simulator stages.
+func TestTraceEndpointServesServiceAndSimulatorSpans(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/simulate", tracedLenet())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced simulate = %d (%s)", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		t.Fatal("traced simulate returned no X-Request-ID")
+	}
+	if simDur := resp.Header.Get("X-Sim-Duration"); simDur == "" || simDur == "0s" {
+		t.Errorf("X-Sim-Duration = %q, want a positive duration on a cold run", simDur)
+	}
+	if cache := resp.Header.Get("X-Cache"); cache != "MISS" {
+		t.Errorf("X-Cache = %q, want MISS", cache)
+	}
+
+	tresp, err := http.Get(ts.URL + "/v1/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/trace/%s = %d (%s)", id, tresp.StatusCode, tbody)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Phase string            `json:"ph"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tbody, &doc); err != nil {
+		t.Fatalf("trace is not valid Chrome-trace JSON: %v\n%s", err, tbody[:min(len(tbody), 300)])
+	}
+	names := make(map[string]bool)
+	stages := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+		if s, ok := ev.Args["stage"]; ok {
+			stages[s] = true
+		}
+	}
+	for _, span := range []string{"decode", "queue-wait", "cache-lookup", "simulate", "encode"} {
+		if !names[span] {
+			t.Errorf("trace missing service span %q", span)
+		}
+	}
+	for _, stage := range []string{"FP", "BP", "WU"} {
+		if !stages[stage] {
+			t.Errorf("trace missing inner simulator stage %q", stage)
+		}
+	}
+
+	// An id the store never saw is a 404, not an empty 200.
+	nf, err := http.Get(ts.URL + "/v1/trace/ffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, nf.Body)
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace id = %d, want 404", nf.StatusCode)
+	}
+}
+
+// Without the opt-in, the request still records service spans but the
+// run retains no simulator intervals; a cache hit reports 0s simulate.
+func TestTraceWithoutOptInHasNoSimulatorStages(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	wl := core.Workload{Model: "lenet", GPUs: 1, Batch: 16, Images: 4096}
+	resp, _ := post(t, ts.URL+"/v1/simulate", wl)
+	id := resp.Header.Get("X-Request-ID")
+	tresp, err := http.Get(ts.URL + "/v1/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace of untraced request = %d, want 200 (service spans only)", tresp.StatusCode)
+	}
+	if strings.Contains(string(tbody), `"stage":"FP"`) {
+		t.Error("untraced request's trace should not carry simulator intervals")
+	}
+	if !strings.Contains(string(tbody), `"decode"`) {
+		t.Error("untraced request's trace should still carry service spans")
+	}
+
+	// Cache hit: simulate span is absent, header says 0s.
+	resp2, _ := post(t, ts.URL+"/v1/simulate", wl)
+	if resp2.Header.Get("X-Cache") != "HIT" {
+		t.Fatalf("second identical simulate should hit the cache")
+	}
+	if got := resp2.Header.Get("X-Sim-Duration"); got != "0s" {
+		t.Errorf("cache hit X-Sim-Duration = %q, want 0s", got)
+	}
+}
+
+// A traced sweep's trace attributes per-cell timings back to the one
+// originating request.
+func TestSweepTraceAttributesCells(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	req := SweepRequest{
+		Trace:   true,
+		Base:    core.Workload{Images: 4096},
+		Models:  []string{"lenet"},
+		GPUs:    []int{1, 2},
+		Batches: []int{16},
+		Methods: []core.Method{core.NCCL},
+	}
+	resp, body := post(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced sweep = %d (%s)", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Request-ID")
+	tresp, err := http.Get(ts.URL + "/v1/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	for _, want := range []string{`"cell[0] simulate"`, `"cell[1] simulate"`, `"cell[0] queue-wait"`, `"stage":"FP"`} {
+		if !strings.Contains(string(tbody), want) {
+			t.Errorf("sweep trace missing %s", want)
+		}
+	}
+}
+
+// /metrics must expose the new queue-wait, panic, in-flight, and
+// histogram series after traffic.
+func TestMetricsExposesObservabilitySeries(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/simulate", core.Workload{Model: "lenet", GPUs: 1, Batch: 16, Images: 4096})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"dgxsimd_pool_queue_wait_seconds_total ",
+		"dgxsimd_pool_panics_total 0",
+		`dgxsimd_inflight{path="/v1/simulate"} 0`,
+		`dgxsimd_request_duration_seconds_bucket{path="/v1/simulate",le="+Inf"} 1`,
+		`dgxsimd_request_duration_seconds_count{path="/v1/simulate"} 1`,
+		`dgxsimd_request_duration_seconds_sum{path="/v1/simulate"} `,
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("metrics missing %q:\n%s", want, b)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// With AccessLog configured, each request emits one JSON line carrying
+// id, method, path, status, cache disposition, queue depth, and latency.
+func TestAccessLogEmitsStructuredLines(t *testing.T) {
+	var buf syncBuffer
+	svc := NewServer(Config{AccessLog: &buf})
+	t.Cleanup(svc.Close)
+
+	// Drive the handler synchronously so the log line is flushed before
+	// we read the buffer.
+	body, _ := json.Marshal(core.Workload{Model: "lenet", GPUs: 1, Batch: 16, Images: 4096})
+	req := httptest.NewRequest("POST", "/v1/simulate", bytes.NewReader(body))
+	req.Header.Set("X-Request-ID", "log-test-request")
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("simulate = %d (%s)", rec.Code, rec.Body.String())
+	}
+
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("no access-log line emitted")
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("access log is not JSON: %v\n%s", err, line)
+	}
+	cases := []struct {
+		key  string
+		want any
+	}{
+		{"id", "log-test-request"},
+		{"method", "POST"},
+		{"path", "/v1/simulate"},
+		{"status", float64(http.StatusOK)},
+		{"cache", "MISS"},
+	}
+	for _, c := range cases {
+		if got := entry[c.key]; got != c.want {
+			t.Errorf("log[%q] = %v, want %v (line: %s)", c.key, got, c.want, line)
+		}
+	}
+	for _, key := range []string{"latency", "queueDepth", "time", "msg"} {
+		if _, ok := entry[key]; !ok {
+			t.Errorf("log line missing %q: %s", key, line)
+		}
+	}
+}
+
+// The trace store is bounded: old request ids age out once the store
+// wraps, and the endpoint says so with a 404.
+func TestTraceStoreBounded(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceStore: 4})
+	resp, _ := post(t, ts.URL+"/v1/simulate", core.Workload{Model: "lenet", GPUs: 1, Batch: 16, Images: 4096})
+	first := resp.Header.Get("X-Request-ID")
+	for i := 0; i < 5; i++ {
+		r, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+	nf, err := http.Get(ts.URL + "/v1/trace/" + first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, nf.Body)
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted trace id = %d, want 404", nf.StatusCode)
+	}
+}

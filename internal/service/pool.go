@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Pool is a bounded worker pool for running independent simulations on
@@ -18,10 +19,12 @@ type Pool struct {
 	tasks chan func()
 	wg    sync.WaitGroup // worker goroutines
 
-	workers   int
-	queued    atomic.Int64 // submitted, not yet started
-	active    atomic.Int64 // currently executing
-	completed atomic.Int64
+	workers     int
+	queued      atomic.Int64 // submitted, not yet started
+	active      atomic.Int64 // currently executing
+	completed   atomic.Int64
+	panics      atomic.Int64 // tasks that panicked (recovered, not fatal)
+	queueWaitNs atomic.Int64 // cumulative submit-to-start wait
 
 	closeOnce sync.Once
 }
@@ -51,10 +54,24 @@ func (p *Pool) worker() {
 	for fn := range p.tasks {
 		p.queued.Add(-1)
 		p.active.Add(1)
-		fn()
+		p.run(fn)
 		p.active.Add(-1)
 		p.completed.Add(1)
 	}
+}
+
+// run executes one task behind a last-resort recover. net/http's
+// per-request recovery only covers handler goroutines; without this, a
+// panic inside a task submitted to a worker goroutine would kill the
+// whole daemon. Map wraps its tasks to convert panics into errors before
+// they reach here, so this catch only fires for raw Submit callers.
+func (p *Pool) run(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+	}()
+	fn()
 }
 
 // Submit enqueues a task, blocking while all workers are busy and the
@@ -62,7 +79,13 @@ func (p *Pool) worker() {
 // closed pool panics, like sending on a closed channel.
 func (p *Pool) Submit(fn func()) {
 	p.queued.Add(1)
-	p.tasks <- fn
+	// Queue wait is measured from the submit attempt, so time spent
+	// blocked on backpressure counts as waiting too.
+	enqueued := time.Now()
+	p.tasks <- func() {
+		p.queueWaitNs.Add(time.Since(enqueued).Nanoseconds())
+		fn()
+	}
 }
 
 // Close stops accepting tasks and waits for in-flight ones to finish.
@@ -77,6 +100,8 @@ type PoolStats struct {
 	Queued    int64
 	Active    int64
 	Completed int64
+	Panics    int64
+	QueueWait time.Duration // cumulative submit-to-start wait across tasks
 }
 
 // Stats snapshots the pool's occupancy counters.
@@ -86,6 +111,8 @@ func (p *Pool) Stats() PoolStats {
 		Queued:    p.queued.Load(),
 		Active:    p.active.Load(),
 		Completed: p.completed.Load(),
+		Panics:    p.panics.Load(),
+		QueueWait: time.Duration(p.queueWaitNs.Load()),
 	}
 }
 
@@ -123,8 +150,8 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 			if ctx.Err() != nil {
 				return
 			}
-			if err := fn(i); err != nil {
-				record(i, fmt.Errorf("task %d: %w", i, err))
+			if err := p.call(i, fn); err != nil {
+				record(i, err)
 			}
 		})
 	}
@@ -133,6 +160,22 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 		return firstErr
 	}
 	return ctx.Err()
+}
+
+// call invokes fn(i), converting a panic into an ordinary error so one
+// poisoned grid cell surfaces as a 500 on its own request instead of
+// crashing the daemon (and the other cells) with it.
+func (p *Pool) call(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			err = fmt.Errorf("task %d: panic: %v", i, r)
+		}
+	}()
+	if err = fn(i); err != nil {
+		err = fmt.Errorf("task %d: %w", i, err)
+	}
+	return err
 }
 
 // MapIndexed runs fn over 0..n-1 on the pool and returns the results in

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -124,5 +125,74 @@ func TestPoolDefaultsToNumCPU(t *testing.T) {
 	defer p.Close()
 	if p.Stats().Workers < 1 {
 		t.Error("default pool should have at least one worker")
+	}
+}
+
+// A panic inside a Map task must come back as that index's error — not
+// kill the worker goroutine, not poison later Maps.
+func TestPoolMapPanicBecomesError(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var ran atomic.Int64
+	err := p.Map(context.Background(), 16, func(i int) error {
+		if i == 3 {
+			panic("boom")
+		}
+		ran.Add(1)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panic: boom") {
+		t.Fatalf("Map error = %v, want a task 3 panic error", err)
+	}
+	if got := p.Stats().Panics; got != 1 {
+		t.Errorf("Panics = %d, want 1", got)
+	}
+	// The pool must still be fully operational afterwards.
+	var again atomic.Int64
+	if err := p.Map(context.Background(), 8, func(i int) error {
+		again.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("Map after a panic = %v", err)
+	}
+	if again.Load() != 8 {
+		t.Errorf("post-panic Map ran %d/8 tasks", again.Load())
+	}
+}
+
+// Raw Submit tasks have no error channel, so the worker's own recover is
+// the last line of defense: the panic is counted and the worker survives
+// to run the next task.
+func TestPoolWorkerRecoversRawSubmitPanic(t *testing.T) {
+	p := NewPool(1) // one worker: the survivor must be the same goroutine
+	defer p.Close()
+	p.Submit(func() { panic("boom") })
+	done := make(chan struct{})
+	p.Submit(func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker died after a panicking Submit task")
+	}
+	if got := p.Stats().Panics; got != 1 {
+		t.Errorf("Panics = %d, want 1", got)
+	}
+}
+
+// Queue wait accumulates when tasks outnumber workers.
+func TestPoolQueueWaitAccumulates(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	err := p.Map(context.Background(), 4, func(i int) error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one worker and 5ms tasks, the last task waited >= ~15ms; any
+	// positive total proves the plumbing without timing flakiness.
+	if got := p.Stats().QueueWait; got <= 0 {
+		t.Errorf("QueueWait = %v, want > 0", got)
 	}
 }

@@ -15,16 +15,27 @@
 //	POST /v1/validate  check a workload without simulating it -> validity,
 //	                   fingerprint, and the normalized workload
 //	GET  /v1/models    the model zoo
+//	GET  /v1/trace/{id} the recorded timeline of a recent request as a
+//	                   Chrome trace (service spans; plus the inner FP/BP/WU
+//	                   simulator stages when the request set "trace": true)
 //	GET  /healthz      liveness probe
-//	GET  /metrics      plain-text counters: requests, latency
-//	                   percentiles, cache hits/misses/evictions, pool depth
+//	GET  /metrics      plain-text counters: requests, latency percentiles
+//	                   and histograms, in-flight gauges, cache
+//	                   hits/misses/evictions, pool depth/queue-wait/panics
+//
+// Every request is assigned (or propagates) an X-Request-ID and records a
+// span breakdown — decode, cache-lookup, queue-wait, simulate, encode —
+// retrievable at /v1/trace/{id} while it remains in the bounded trace
+// store (see internal/obs). When Config.AccessLog is set, each request
+// also emits one structured JSON log line (log/slog).
 //
 // Every JSON body — request and response — carries a schemaVersion field
 // (currently 1). Requests may omit it (treated as current); any other
 // value is rejected with 400 so old clients fail loudly when the wire
 // format moves, instead of silently misparsing.
 //
-// Everything is stdlib-only: net/http, encoding/json, container/list, sync.
+// Everything is stdlib-only: net/http, encoding/json, container/list,
+// log/slog, sync.
 package service
 
 import (
@@ -32,11 +43,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 // Config tunes a Server.
@@ -47,6 +61,13 @@ type Config struct {
 	CacheSize int
 	// Timeout bounds each request's simulation work (<= 0: 60s).
 	Timeout time.Duration
+	// TraceStore bounds how many recent request traces /v1/trace can
+	// serve (<= 0: the default 256).
+	TraceStore int
+	// AccessLog, when non-nil, receives one JSON line per request:
+	// request id, method, path, status, cache disposition, queue depth,
+	// and latency. Nil disables access logging.
+	AccessLog io.Writer
 }
 
 // Server implements the simulation service. Create one with NewServer,
@@ -56,6 +77,8 @@ type Server struct {
 	pool    *Pool
 	cache   *Cache
 	metrics *metrics
+	traces  *obs.Store
+	logger  *slog.Logger
 	mux     *http.ServeMux
 }
 
@@ -69,15 +92,20 @@ func NewServer(cfg Config) *Server {
 		pool:    NewPool(cfg.Workers),
 		cache:   NewCache(cfg.CacheSize),
 		metrics: newMetrics(),
+		traces:  obs.NewStore(cfg.TraceStore),
 		mux:     http.NewServeMux(),
+	}
+	if cfg.AccessLog != nil {
+		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
 	s.mux.HandleFunc("/v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
 	s.mux.HandleFunc("/v1/compare", s.instrument("/v1/compare", s.handleCompare))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/validate", s.instrument("/v1/validate", s.handleValidate))
 	s.mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/trace/", s.instrument("/v1/trace", s.handleTrace))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	return s
 }
 
@@ -105,14 +133,61 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency capture.
+// Flush forwards the http.Flusher upgrade the embedded interface would
+// otherwise hide: without it, anything streaming through an instrumented
+// handler silently stopped flushing (the type assertion inside
+// http.ResponseWriter consumers failed against the wrapper).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the request-scoped observability
+// layer: an X-Request-ID (fresh, or propagated from the client), a span
+// trace carried through context and retained for /v1/trace/{id}, request
+// counting and latency capture, and one structured access-log line.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewID()
+		}
+		tr := obs.NewTrace(id)
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		w.Header().Set("X-Request-ID", id)
+		queueDepth := s.pool.Stats().Queued
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.metrics.startRequest(path)
 		start := time.Now()
 		h(rec, r)
-		s.metrics.observe(path, time.Since(start), rec.status >= 400)
+		d := time.Since(start)
+		s.metrics.observe(path, d, rec.status >= 400)
+		s.traces.Put(tr)
+		if s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", path),
+				slog.Int("status", rec.status),
+				slog.String("cache", rec.Header().Get("X-Cache")),
+				slog.Int64("queueDepth", queueDepth),
+				slog.Duration("latency", d),
+			)
+		}
 	}
+}
+
+// methodNotAllowed writes the 405 response HTTP semantics require for a
+// wrong-method request: the Allow header naming what the resource
+// accepts, plus the JSON error body every endpoint shares. (An earlier
+// version returned 400 "use POST", which blamed the client's syntax
+// rather than the method and omitted Allow.)
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusMethodNotAllowed)
+	json.NewEncoder(w).Encode(map[string]string{"error": "method not allowed; use " + allow})
 }
 
 // maxBodyBytes bounds every JSON request body. Workload and sweep
@@ -159,9 +234,15 @@ func isBadRequest(err error) bool {
 const SchemaVersion = 1
 
 // workloadRequest is the versioned /v1/simulate, /v1/compare, and
-// /v1/validate request body: a core.Workload plus schemaVersion.
+// /v1/validate request body: a core.Workload plus schemaVersion and the
+// tracing opt-in.
 type workloadRequest struct {
 	SchemaVersion int `json:"schemaVersion"`
+	// Trace opts the request into simulator-stage tracing: the run
+	// retains profiler intervals (TraceIntervals defaulted if unset) so
+	// /v1/trace/{id} can render the inner FP/BP/WU timeline alongside
+	// the service spans.
+	Trace bool `json:"trace,omitempty"`
 	core.Workload
 }
 
@@ -180,30 +261,47 @@ func limitBody(w http.ResponseWriter, r *http.Request) {
 }
 
 // decodeBody parses a request body without semantic validation (the
-// /v1/validate endpoint reports semantic errors in a 200 body).
-func decodeBody(r *http.Request) (core.Workload, error) {
+// /v1/validate endpoint reports semantic errors in a 200 body). The
+// second result reports the "trace": true opt-in.
+func decodeBody(r *http.Request) (core.Workload, bool, error) {
 	var req workloadRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		return core.Workload{}, badRequestError{fmt.Errorf("decode workload: %w", err)}
+		return core.Workload{}, false, badRequestError{fmt.Errorf("decode workload: %w", err)}
 	}
 	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
-		return core.Workload{}, err
+		return core.Workload{}, false, err
 	}
-	return req.Workload, nil
+	return req.Workload, req.Trace, nil
 }
 
 // decodeWorkload parses and validates a request body.
-func decodeWorkload(r *http.Request) (core.Workload, error) {
-	w, err := decodeBody(r)
+func decodeWorkload(r *http.Request) (core.Workload, bool, error) {
+	w, traced, err := decodeBody(r)
 	if err != nil {
-		return core.Workload{}, err
+		return core.Workload{}, false, err
 	}
 	if err := w.Validate(); err != nil {
-		return core.Workload{}, badRequestError{err}
+		return core.Workload{}, false, badRequestError{err}
 	}
-	return w, nil
+	return w, traced, nil
+}
+
+// defaultTraceIntervals is the interval-retention cap applied when a
+// request opts into tracing without choosing its own TraceIntervals —
+// enough to cover the simulated steady-state window of every zoo model.
+const defaultTraceIntervals = 4096
+
+// withTracing turns on simulator interval retention for a trace opt-in.
+// TraceIntervals is part of the workload fingerprint, so traced runs
+// cache separately from untraced ones — a traced report always carries
+// its timeline.
+func withTracing(w core.Workload) core.Workload {
+	if w.TraceIntervals == 0 {
+		w.TraceIntervals = defaultTraceIntervals
+	}
+	return w
 }
 
 // reportBody is the versioned report envelope: the core.Report fields
@@ -230,34 +328,61 @@ func writeJSONBytes(w http.ResponseWriter, b []byte) {
 // the caller's goroutine — fan-out across the pool happens at the
 // handler layer, never here (nesting pool waits inside pool tasks would
 // deadlock a full pool).
-func (s *Server) runCached(ctx context.Context, w core.Workload) (*core.Report, bool, error) {
+//
+// label prefixes the recorded span names ("cell[3] " for a sweep cell,
+// "p2p " for a compare arm) so a fanned-out request's per-cell timings
+// attribute back to the one originating trace; reports that retained
+// simulator intervals are attached to the trace for /v1/trace rendering.
+func (s *Server) runCached(ctx context.Context, label string, w core.Workload) (*core.Report, bool, error) {
+	tr := obs.FromContext(ctx)
 	// Normalizing before fingerprinting makes spelled-out defaults and
 	// omitted ones share a cache slot (Fingerprint normalizes internally
 	// too; doing it here keeps the cached Report's echoed workload
 	// identical for both spellings).
 	w = w.Normalize()
 	key := w.Fingerprint()
-	if r, ok := s.cache.Get(key); ok {
+	endLookup := tr.StartSpan(label + "cache-lookup")
+	r, ok := s.cache.Get(key)
+	endLookup()
+	if ok {
+		s.attachProfile(tr, label, r)
 		return r, true, nil
 	}
+	endSim := tr.StartSpan(label + "simulate")
 	r, err := core.RunContext(ctx, w)
+	endSim()
 	if err != nil {
 		return nil, false, err
 	}
 	s.cache.Put(key, r)
+	s.attachProfile(tr, label, r)
 	return r, false, nil
+}
+
+// attachProfile hangs a report's retained simulator timeline on the
+// request trace (no-op for untraced runs, which retain no intervals).
+func (s *Server) attachProfile(tr *obs.Trace, label string, r *core.Report) {
+	if r.Profile != nil && len(r.Profile.Intervals()) > 0 {
+		tr.Attach(label+"profile", r.Profile)
+	}
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, badRequestError{fmt.Errorf("use POST")})
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
+	tr := obs.FromContext(r.Context())
 	limitBody(w, r)
-	wl, err := decodeWorkload(r)
+	endDecode := tr.StartSpan("decode")
+	wl, traced, err := decodeWorkload(r)
+	endDecode()
 	if err != nil {
 		httpError(w, err)
 		return
+	}
+	if traced {
+		wl = withTracing(wl)
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
@@ -267,21 +392,26 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	)
 	// One-task fan-out: the pool bounds simulation concurrency across
 	// all in-flight requests.
+	submitted := time.Now()
 	err = s.pool.Map(ctx, 1, func(int) error {
+		tr.AddSpan("queue-wait", submitted, time.Now())
 		var runErr error
-		rep, hit, runErr = s.runCached(ctx, wl)
+		rep, hit, runErr = s.runCached(ctx, "", wl)
 		return runErr
 	})
 	if err != nil {
 		httpError(w, err)
 		return
 	}
+	endEncode := tr.StartSpan("encode")
+	defer endEncode()
 	b, err := marshalReport(rep)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	w.Header().Set("X-Cache", cacheHeader(hit))
+	w.Header().Set("X-Sim-Duration", tr.Dur("simulate").String())
 	writeJSONBytes(w, b)
 }
 
@@ -294,14 +424,20 @@ func cacheHeader(hit bool) string {
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, badRequestError{fmt.Errorf("use POST")})
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
+	tr := obs.FromContext(r.Context())
 	limitBody(w, r)
-	wl, err := decodeWorkload(r)
+	endDecode := tr.StartSpan("decode")
+	wl, traced, err := decodeWorkload(r)
+	endDecode()
 	if err != nil {
 		httpError(w, err)
 		return
+	}
+	if traced {
+		wl = withTracing(wl)
 	}
 	methods := []core.Method{core.P2P, core.NCCL}
 	for _, m := range methods {
@@ -314,10 +450,13 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+	submitted := time.Now()
 	reps, err := MapIndexed(ctx, s.pool, len(methods), func(i int) (*core.Report, error) {
+		label := string(methods[i]) + " "
+		tr.AddSpan(label+"queue-wait", submitted, time.Now())
 		wm := wl
 		wm.Method = methods[i]
-		rep, _, err := s.runCached(ctx, wm)
+		rep, _, err := s.runCached(ctx, label, wm)
 		return rep, err
 	})
 	if err != nil {
@@ -330,11 +469,14 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	for i, m := range methods {
 		results[i] = core.MethodReport{Method: m, Report: reps[i]}
 	}
+	endEncode := tr.StartSpan("encode")
+	defer endEncode()
 	b, err := json.Marshal(CompareResponse{SchemaVersion: SchemaVersion, Results: results})
 	if err != nil {
 		httpError(w, err)
 		return
 	}
+	w.Header().Set("X-Sim-Duration", tr.Dur("simulate").String())
 	writeJSONBytes(w, b)
 }
 
@@ -351,11 +493,14 @@ type CompareResponse struct {
 // that order regardless of which simulations finish first.
 type SweepRequest struct {
 	SchemaVersion int `json:"schemaVersion,omitempty"`
-	Base          core.Workload
-	Models        []string
-	GPUs          []int
-	Batches       []int
-	Methods       []core.Method
+	// Trace opts every grid cell into simulator-stage tracing (see
+	// workloadRequest.Trace).
+	Trace   bool `json:"trace,omitempty"`
+	Base    core.Workload
+	Models  []string
+	GPUs    []int
+	Batches []int
+	Methods []core.Method
 }
 
 // Expand materializes the grid as concrete workloads.
@@ -403,14 +548,18 @@ type SweepResponse struct {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, badRequestError{fmt.Errorf("use POST")})
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
+	tr := obs.FromContext(r.Context())
 	limitBody(w, r)
+	endDecode := tr.StartSpan("decode")
 	var req SweepRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	err := dec.Decode(&req)
+	endDecode()
+	if err != nil {
 		httpError(w, badRequestError{fmt.Errorf("decode sweep: %w", err)})
 		return
 	}
@@ -430,11 +579,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.Trace {
+		for i := range grid {
+			grid[i] = withTracing(grid[i])
+		}
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	before := s.cache.Stats().Hits
+	submitted := time.Now()
 	results, err := MapIndexed(ctx, s.pool, len(grid), func(i int) (json.RawMessage, error) {
-		rep, _, err := s.runCached(ctx, grid[i])
+		// Per-cell spans carry the grid index, so the sweep's fan-out
+		// attributes back to this one request's trace cell by cell.
+		label := fmt.Sprintf("cell[%d] ", i)
+		tr.AddSpan(label+"queue-wait", submitted, time.Now())
+		rep, _, err := s.runCached(ctx, label, grid[i])
 		if err != nil {
 			return nil, err
 		}
@@ -444,12 +603,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	endEncode := tr.StartSpan("encode")
+	defer endEncode()
 	b, err := json.Marshal(SweepResponse{SchemaVersion: SchemaVersion, Count: len(grid), Results: results})
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	w.Header().Set("X-Cache-Hits", fmt.Sprintf("%d", s.cache.Stats().Hits-before))
+	w.Header().Set("X-Sim-Duration", tr.Dur("simulate").String())
 	writeJSONBytes(w, b)
 }
 
@@ -472,11 +634,11 @@ type ValidateResponse struct {
 // a workload this endpoint accepts never fails validation later.
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, badRequestError{fmt.Errorf("use POST")})
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	limitBody(w, r)
-	wl, err := decodeBody(r)
+	wl, _, err := decodeBody(r)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -511,7 +673,7 @@ type ModelInfo struct {
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, badRequestError{fmt.Errorf("use GET")})
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	names := core.Models()
@@ -544,11 +706,19 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.metrics.render(s.cache.Stats(), s.pool.Stats()))
 }

@@ -277,15 +277,101 @@ func TestSimulateTimeout(t *testing.T) {
 	}
 }
 
+// Every endpoint must answer a wrong-method request with 405 Method Not
+// Allowed and an Allow header naming what it accepts — not the 400 "use
+// POST" the service used to return.
 func TestMethodNotAllowed(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp, err := http.Get(ts.URL + "/v1/simulate")
+	endpoints := []struct{ path, allow string }{
+		{"/v1/simulate", "POST"},
+		{"/v1/compare", "POST"},
+		{"/v1/sweep", "POST"},
+		{"/v1/validate", "POST"},
+		{"/v1/models", "GET"},
+		{"/v1/trace/deadbeef00000000", "GET"},
+		{"/healthz", "GET"},
+		{"/metrics", "GET"},
+	}
+	methods := []string{"GET", "POST", "PUT", "DELETE", "PATCH"}
+	for _, ep := range endpoints {
+		for _, method := range methods {
+			if method == ep.allow {
+				continue // the allowed method is covered by the endpoint's own tests
+			}
+			t.Run(method+" "+ep.path, func(t *testing.T) {
+				req, err := http.NewRequest(method, ts.URL+ep.path, strings.NewReader("{}"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusMethodNotAllowed {
+					t.Errorf("status = %d, want 405", resp.StatusCode)
+				}
+				if got := resp.Header.Get("Allow"); got != ep.allow {
+					t.Errorf("Allow = %q, want %q", got, ep.allow)
+				}
+			})
+		}
+	}
+}
+
+// statusRecorder must forward the http.Flusher upgrade: an instrumented
+// streaming handler that type-asserts its writer to http.Flusher has to
+// keep flushing through the wrapper.
+func TestStatusRecorderPreservesFlusher(t *testing.T) {
+	rec := httptest.NewRecorder() // a Flusher
+	var w http.ResponseWriter = &statusRecorder{ResponseWriter: rec, status: http.StatusOK}
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("statusRecorder does not type-assert to http.Flusher")
+	}
+	f.Flush()
+	if !rec.Flushed {
+		t.Error("Flush was not forwarded to the wrapped writer")
+	}
+}
+
+// A panic inside a pool task must surface as that request's 500 while
+// the daemon keeps serving — net/http's per-request recovery does not
+// cover worker goroutines, so this is the pool's own job.
+func TestPanickingPoolTaskYields500NotDeadProcess(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	// A handler that fans a poisoned task out on the server's pool,
+	// exactly like the simulate/sweep handlers fan out their cells.
+	panicky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		err := svc.pool.Map(r.Context(), 1, func(int) error { panic("poisoned cell") })
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer panicky.Close()
+
+	resp, err := http.Get(panicky.URL)
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("GET simulate = %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking task returned %d (%s), want 500", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "poisoned cell") {
+		t.Errorf("error body should carry the panic value: %s", body)
+	}
+	if got := svc.PoolStats().Panics; got != 1 {
+		t.Errorf("pool Panics = %d, want 1", got)
+	}
+
+	// The daemon must still be fully alive: same pool, real simulation.
+	resp2, body2 := post(t, ts.URL+"/v1/simulate", core.Workload{Model: "lenet", GPUs: 1, Batch: 16, Images: 4096})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("simulate after a pool panic = %d (%s); the pool must survive", resp2.StatusCode, body2)
 	}
 }
 

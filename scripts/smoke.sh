@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the dgxsimd daemon: build it, start it with
+# pprof enabled, run one traced simulation, and assert that the
+# observability surface (request id, /v1/trace, /metrics gauges and
+# histograms, /debug/pprof) is actually serving. CI runs this after the
+# unit tests; locally, `make smoke`.
+set -euo pipefail
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/dgxsimd"
+LOG="$(mktemp)"
+
+cleanup() {
+    [[ -n "${DAEMON_PID:-}" ]] && kill "$DAEMON_PID" 2>/dev/null || true
+    [[ -n "${DAEMON_PID:-}" ]] && wait "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$(dirname "$BIN")" "$LOG"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke: FAIL: $*" >&2
+    echo "--- daemon log ---" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+echo "smoke: building dgxsimd"
+go build -o "$BIN" ./cmd/dgxsimd
+
+echo "smoke: starting daemon on $ADDR"
+"$BIN" -addr "$ADDR" -pprof 2>"$LOG" &
+DAEMON_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null || fail "daemon never became healthy"
+
+echo "smoke: traced simulate request"
+HDRS="$(mktemp)"
+BODY='{"Model":"lenet","GPUs":2,"Batch":16,"Images":4096,"trace":true}'
+curl -fsS -D "$HDRS" -o /dev/null -X POST "$BASE/v1/simulate" -d "$BODY" \
+    || fail "POST /v1/simulate failed"
+REQ_ID="$(awk 'tolower($1) == "x-request-id:" {print $2}' "$HDRS" | tr -d '\r')"
+rm -f "$HDRS"
+[[ -n "$REQ_ID" ]] || fail "response missing X-Request-ID"
+echo "smoke: request id $REQ_ID"
+
+echo "smoke: fetching trace"
+TRACE="$(curl -fsS "$BASE/v1/trace/$REQ_ID")" || fail "GET /v1/trace/$REQ_ID failed"
+grep -q '"traceEvents"' <<<"$TRACE" || fail "trace is not a Chrome trace document"
+grep -q '"simulate"' <<<"$TRACE" || fail "trace missing the simulate service span"
+grep -q '"stage":"FP"' <<<"$TRACE" || fail "trace missing simulator FP stage intervals"
+
+echo "smoke: checking /metrics"
+METRICS="$(curl -fsS "$BASE/metrics")" || fail "GET /metrics failed"
+for series in \
+    dgxsimd_pool_queue_wait_seconds_total \
+    dgxsimd_pool_panics_total \
+    dgxsimd_request_duration_seconds_bucket \
+    dgxsimd_inflight; do
+    grep -q "$series" <<<"$METRICS" || fail "/metrics missing $series"
+done
+
+echo "smoke: checking pprof"
+curl -fsS "$BASE/debug/pprof/cmdline" >/dev/null || fail "pprof not mounted"
+
+echo "smoke: checking access log"
+grep -q "\"id\":\"$REQ_ID\"" "$LOG" || fail "access log missing request $REQ_ID"
+
+echo "smoke: PASS"
