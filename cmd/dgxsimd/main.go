@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dgxsimd -addr :8080 -workers 8 -cache 1024 -timeout 60s -pprof
+//	dgxsimd -addr :8080 -workers 8 -queue-depth 16 -cache 1024 -timeout 60s -pprof
 //
 //	curl -s localhost:8080/v1/simulate -d '{"Model":"resnet","GPUs":4,"Batch":32}'
 //	curl -s localhost:8080/v1/simulate -d '{"Model":"alexnet","GPUs":8,"Batch":16,"faults":{"failedLinks":[{"a":0,"b":1}]}}'
@@ -22,6 +22,14 @@
 //
 // Request and response bodies carry a schemaVersion field (currently 1);
 // requests may omit it, and any other value is rejected with 400.
+//
+// Overload: admission to the worker pool is bounded by -queue-depth.
+// When the queue is full a new simulation is shed with 429 + Retry-After
+// (a deadline that expires while still queued sheds with 503) instead of
+// blocking, identical concurrent misses coalesce onto one in-flight
+// simulation, and /metrics exposes dgxsimd_shed_total,
+// dgxsimd_coalesced_total, and the admission-queue gauges. cmd/loadgen
+// drives a flood to demonstrate the bounded behaviour.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests finish
 // (bounded by -drain), then the worker pool is released.
@@ -48,8 +56,10 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+		queue     = flag.Int("queue-depth", 0, "admission-queue depth before requests are shed with 429 (0 = one slot per worker)")
 		cache     = flag.Int("cache", 0, "result-cache capacity in reports (0 = default 1024)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-request simulation timeout")
+		reqTO     = flag.Duration("request-timeout", 0, "total per-request deadline incl. queueing; expiry while queued sheds with 503 (0 = -timeout)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		traces    = flag.Int("trace-store", 0, "recent request traces retained for /v1/trace (0 = default 256)")
 		accessLog = flag.Bool("access-log", true, "emit one JSON access-log line per request on stderr")
@@ -62,11 +72,13 @@ func main() {
 		logSink = os.Stderr
 	}
 	svc := service.NewServer(service.Config{
-		Workers:    *workers,
-		CacheSize:  *cache,
-		Timeout:    *timeout,
-		TraceStore: *traces,
-		AccessLog:  logSink,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		Timeout:        *timeout,
+		RequestTimeout: *reqTO,
+		TraceStore:     *traces,
+		AccessLog:      logSink,
 	})
 	defer svc.Close()
 

@@ -13,6 +13,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -22,13 +24,112 @@ import (
 	"repro/internal/units"
 )
 
-// compiledEntry is one artifact slot: the once gates compilation so that
-// concurrent requests for the same key simulate it exactly once (the
-// losers block until the winner finishes, then share the window).
+// errCompileAborted marks a compile cancelled because every caller
+// interested in its artifact went away. It is never cached and never
+// escapes the artifact layer: live callers that race an abort retry with
+// a fresh entry.
+var errCompileAborted = errors.New("core: compile aborted: no interested callers remain")
+
+// compiledEntry is one artifact slot: a singleflight with interest
+// tracking, so concurrent requests for the same key simulate it exactly
+// once (the losers wait for the winner, then share the window). The
+// first arriver starts the compile on a dedicated goroutine; callers
+// whose context ends stop waiting immediately while the compile keeps
+// running for the rest. When the last interested caller cancels, the
+// compile itself is aborted at its next iteration boundary — an
+// abandoned request stops burning CPU — and the slot is dropped so a
+// future request compiles afresh. Deterministic failures (an OOM batch
+// size, say) stay cached; cancellation never does.
 type compiledEntry struct {
-	once sync.Once
-	win  *train.Window
-	err  error
+	mu       sync.Mutex
+	started  bool
+	finished bool
+	aborted  bool
+	refs     int           // callers currently awaiting the artifact
+	abort    chan struct{} // closed when refs drops to 0 before finish
+	done     chan struct{} // closed when the compile goroutine finishes
+	win      *train.Window
+	err      error
+}
+
+func newCompiledEntry() *compiledEntry {
+	return &compiledEntry{abort: make(chan struct{}), done: make(chan struct{})}
+}
+
+// await joins the entry's flight: it starts the compile if this caller
+// is first, then waits for the artifact or the caller's context, whichever
+// ends first. A caller that stops waiting drops its interest; the last
+// one out aborts the compile.
+func (e *compiledEntry) await(ctx context.Context, w Workload, key string) (*train.Window, error) {
+	e.mu.Lock()
+	e.refs++
+	if !e.started {
+		e.started = true
+		go e.compile(w, key)
+	}
+	e.mu.Unlock()
+	select {
+	case <-e.done:
+		e.leave()
+		return e.win, e.err
+	case <-ctx.Done():
+		e.leave()
+		return nil, ctx.Err()
+	}
+}
+
+// leave drops one caller's interest; the last leaver of an unfinished
+// compile aborts it.
+func (e *compiledEntry) leave() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refs--
+	if e.refs == 0 && !e.finished && !e.aborted {
+		e.aborted = true
+		close(e.abort)
+	}
+}
+
+// cancelled is the trainer-facing probe: it fires once the flight has
+// been abandoned by every caller.
+func (e *compiledEntry) cancelled() error {
+	select {
+	case <-e.abort:
+		return errCompileAborted
+	default:
+		return nil
+	}
+}
+
+// compile builds the window on its own goroutine and publishes the
+// outcome. An aborted compile removes its slot from the cache — the
+// abort is a property of the departed callers, not of the workload, so
+// the next request must get a fresh flight.
+func (e *compiledEntry) compile(w Workload, key string) {
+	win, err := buildWindow(w, e.cancelled)
+	e.mu.Lock()
+	e.win, e.err = win, err
+	e.finished = true
+	e.mu.Unlock()
+	if err != nil && (errors.Is(err, errCompileAborted) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		windows.drop(key, e)
+	}
+	close(e.done)
+}
+
+// buildWindow runs the compile phase: lower the config, build the
+// trainer, and simulate the window with the cancellation probe installed.
+func buildWindow(w Workload, check func() error) (*train.Window, error) {
+	cfg, err := trainConfig(w)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := train.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr.SetCheck(check)
+	return tr.SimulateWindow()
 }
 
 // artifactCache memoizes compiled windows with FIFO eviction. Errors are
@@ -52,7 +153,7 @@ func (c *artifactCache) entry(key string) *compiledEntry {
 	if e, ok := c.entries[key]; ok {
 		return e
 	}
-	e := &compiledEntry{}
+	e := newCompiledEntry()
 	c.entries[key] = e
 	c.order = append(c.order, key)
 	for len(c.order) > c.limit {
@@ -60,6 +161,23 @@ func (c *artifactCache) entry(key string) *compiledEntry {
 		c.order = c.order[1:]
 	}
 	return e
+}
+
+// drop removes a specific entry from the cache — only if the slot still
+// holds that entry, so an aborted flight never evicts its replacement.
+func (c *artifactCache) drop(key string, e *compiledEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[key]; !ok || cur != e {
+		return
+	}
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
 }
 
 func (c *artifactCache) reset() {
@@ -140,23 +258,25 @@ func artifactKey(w Workload) string {
 }
 
 // compiledWindow returns the (possibly cached) compiled window for a
-// normalized, window-cacheable workload.
-func compiledWindow(w Workload) (*train.Window, error) {
-	e := windows.entry(artifactKey(w))
-	e.once.Do(func() {
-		cfg, err := trainConfig(w)
-		if err != nil {
-			e.err = err
-			return
+// normalized, window-cacheable workload, waiting no longer than the
+// context allows. A caller that arrives after a flight was aborted (its
+// callers all cancelled) retries on a fresh entry — cancellation is a
+// property of requests, never of the workload, so it must not stick to
+// the cache.
+func compiledWindow(ctx context.Context, w Workload) (*train.Window, error) {
+	key := artifactKey(w)
+	for {
+		e := windows.entry(key)
+		win, err := e.await(ctx, w, key)
+		if err == nil || !errors.Is(err, errCompileAborted) {
+			return win, err
 		}
-		tr, err := train.New(cfg)
-		if err != nil {
-			e.err = err
-			return
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
 		}
-		e.win, e.err = tr.SimulateWindow()
-	})
-	return e.win, e.err
+		// The flight this caller joined was abandoned and dropped; loop
+		// to join (or start) a fresh one.
+	}
 }
 
 // trainConfig lowers a normalized workload to the train layer's Config.
@@ -197,12 +317,29 @@ func Simulate(w Workload) (*train.Result, error) {
 	return simulate(w.Normalize())
 }
 
-// simulate dispatches a normalized workload: window-cacheable schedules
-// extrapolate a (possibly shared) compiled window; the rest run in full.
+// simulate dispatches a normalized workload on the caller's goroutine
+// with no cancellation (the Run entry point).
 func simulate(w Workload) (*train.Result, error) {
+	return simulateCtx(context.Background(), w)
+}
+
+// simulateCtx dispatches a normalized workload: window-cacheable
+// schedules extrapolate a (possibly shared) compiled window; the rest
+// run in full on the caller's goroutine. Cancellation is honoured at
+// every stage boundary — before compiling, while waiting on a shared
+// compile flight, between simulated iterations (via the trainer's
+// probe), and before extrapolating — so an abandoned request stops
+// consuming CPU promptly instead of simulating its whole epoch first.
+func simulateCtx(ctx context.Context, w Workload) (*train.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if w.windowCacheable() {
-		win, err := compiledWindow(w)
+		win, err := compiledWindow(ctx, w)
 		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		res, err := win.Extrapolate(epochImages(w))
@@ -219,6 +356,9 @@ func simulate(w Workload) (*train.Result, error) {
 	tr, err := train.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if ctx.Done() != nil {
+		tr.SetCheck(ctx.Err)
 	}
 	return tr.Run()
 }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A context that is already dead must stop RunContext before any
+// simulation work.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Workload{Model: "lenet", GPUs: 1, Batch: 16}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on a dead context = %v, want context.Canceled", err)
+	}
+}
+
+// A run cancelled mid-flight must never poison the artifact cache: the
+// next caller with a live context gets a full, correct report — never a
+// memoized context error, never a half-built window.
+func TestCancelledRunNeverPoisonsArtifactCache(t *testing.T) {
+	// A batch size no other test uses, so this test always compiles
+	// fresh instead of hitting an artifact another test memoized.
+	w := Workload{Model: "googlenet", GPUs: 4, Batch: 23, Images: 4096}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, w)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond) // land anywhere: mid-compile or already finished
+	cancel()
+	// Whichever way the race went, the only acceptable outcomes are a
+	// clean result or the cancellation itself.
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunContext = %v, want nil or context.Canceled", err)
+	}
+	rep, err := RunContext(context.Background(), w)
+	if err != nil {
+		t.Fatalf("RunContext after a cancelled attempt = %v", err)
+	}
+	// The surviving artifact must be the real one: byte-identical to an
+	// uncached-path Run of the same workload.
+	ref, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EpochTime != ref.EpochTime || rep.Iterations != ref.Iterations {
+		t.Errorf("post-cancel report diverges: epoch %v vs %v", rep.EpochTime, ref.EpochTime)
+	}
+}
+
+// A compile shared by several in-flight callers keeps running while any
+// of them still wants it: one caller cancelling must not fail the rest.
+func TestSharedCompileSurvivesOneCallersCancel(t *testing.T) {
+	w := Workload{Model: "googlenet", GPUs: 2, Batch: 29, Images: 4096} // fresh fingerprint
+	cancelled, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 2)
+	go func() {
+		_, err := RunContext(cancelled, w)
+		errs <- err
+	}()
+	go func() {
+		_, err := RunContext(context.Background(), w)
+		errs <- err
+	}()
+	time.Sleep(time.Millisecond)
+	cancel()
+	var live, dead int
+	for i := 0; i < 2; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			live++
+		case errors.Is(err, context.Canceled):
+			dead++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if live < 1 {
+		t.Errorf("%d callers succeeded; the uncancelled caller must not be failed by its neighbour", live)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/profiler"
+	"repro/internal/train"
 )
 
 // Method names a communication method.
@@ -132,6 +133,12 @@ func Run(w Workload) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newReport(w, res), nil
+}
+
+// newReport summarizes a train.Result as the stable Report — the one
+// finalization every entry point (Run, RunContext, Compare) shares.
+func newReport(w Workload, res *train.Result) *Report {
 	return &Report{
 		Workload:           w,
 		Iterations:         res.Iterations,
@@ -144,7 +151,7 @@ func Run(w Workload) (*Report, error) {
 		SyncPercent:        res.SyncPercent,
 		ComputeUtilization: res.ComputeUtilization,
 		Profile:            res.Profile,
-	}, nil
+	}
 }
 
 // RunMany simulates the workloads in order, sharing compiled artifacts
@@ -159,7 +166,7 @@ func RunMany(ctx context.Context, ws []Workload) ([]*Report, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r, err := Run(w)
+		r, err := RunContext(ctx, w)
 		if err != nil {
 			return nil, fmt.Errorf("core: workload %d: %w", i, err)
 		}
@@ -169,10 +176,14 @@ func RunMany(ctx context.Context, ws []Workload) ([]*Report, error) {
 }
 
 // RunContext simulates one epoch of the workload, honouring cancellation
-// and deadlines. The simulation itself is not preemptible — on timeout
-// the worker goroutine finishes its epoch in the background and its
-// result is discarded — but callers (per-request server timeouts, sweep
-// cancellation) regain control as soon as the context expires.
+// and deadlines. Cancellation is cooperative but real: the context is
+// checked between pipeline stages and between simulated iterations, so
+// an abandoned request's simulation aborts within an iteration boundary
+// instead of finishing its epoch in the background. A compile shared
+// with other in-flight callers (the artifact cache's singleflight) keeps
+// running as long as any caller still wants it; when the last one
+// cancels, the compile is aborted too — and a cancelled compile is never
+// cached, so the next request simulates afresh.
 //
 // When the context carries a request trace (internal/obs), the run
 // records a "core.Run <model>" span into it, so service-layer timelines
@@ -183,21 +194,15 @@ func RunContext(ctx context.Context, w Workload) (*Report, error) {
 		return nil, err
 	}
 	defer obs.FromContext(ctx).StartSpan("core.Run " + w.Model)()
-	type outcome struct {
-		r   *Report
-		err error
+	if err := w.Validate(); err != nil {
+		return nil, err
 	}
-	ch := make(chan outcome, 1)
-	go func() {
-		r, err := Run(w)
-		ch <- outcome{r, err}
-	}()
-	select {
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case o := <-ch:
-		return o.r, o.err
+	w = w.Normalize()
+	res, err := simulateCtx(ctx, w)
+	if err != nil {
+		return nil, err
 	}
+	return newReport(w, res), nil
 }
 
 // MethodReport pairs one communication method with its report, in

@@ -55,6 +55,20 @@ func (c *Cache) Get(key string) (*core.Report, bool) {
 	return el.Value.(*cacheEntry).report, true
 }
 
+// Peek returns the cached report for a fingerprint without touching
+// recency or the hit/miss counters. It backs internal double-checks —
+// a flight leader re-probing after winning its flight — which are not
+// client lookups and would otherwise skew the published hit ratio.
+func (c *Cache) Peek(key string) (*core.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).report, true
+}
+
 // Put stores a report, evicting the least recently used entry when full.
 // Storing an existing key refreshes its value and recency.
 func (c *Cache) Put(key string, r *core.Report) {

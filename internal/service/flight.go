@@ -1,0 +1,58 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// flightGroup coalesces concurrent cache misses per workload
+// fingerprint: of N identical in-flight requests, exactly one (the
+// leader) simulates while the rest wait for its report. The core
+// artifact layer already dedups the compile phase across requests; this
+// dedups the whole simulate-and-report path, so a burst of identical
+// what-if queries — the dominant shape of production training-fleet
+// traffic — costs one pool slot instead of N.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress simulation other requests may subscribe to.
+// rep and err are written exactly once, before done is closed; waiters
+// read them only after <-done.
+type flight struct {
+	done chan struct{}
+	rep  *core.Report
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join subscribes to the in-flight simulation for key, creating one if
+// none exists. The second result is true for the creator — the leader,
+// who must eventually call complete exactly once.
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// complete publishes the leader's outcome to every waiter and retires
+// the flight, so the next miss for the key starts a fresh one.
+func (g *flightGroup) complete(key string, f *flight, rep *core.Report, err error) {
+	g.mu.Lock()
+	if g.m[key] == f {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	f.rep, f.err = rep, err
+	close(f.done)
+}

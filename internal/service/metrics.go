@@ -23,12 +23,34 @@ const latencyWindow = 512
 var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
 
 // metrics aggregates per-endpoint request counters, recent-latency
-// percentiles, cumulative latency histograms, and in-flight gauges for
-// the plain-text /metrics endpoint.
+// percentiles, cumulative latency histograms, in-flight gauges, and the
+// overload counters (requests shed, requests coalesced) for the
+// plain-text /metrics endpoint.
 type metrics struct {
 	mu        sync.Mutex
 	start     time.Time
 	endpoints map[string]*endpointMetrics
+
+	// shed counts requests refused under overload (429 queue-full, 503
+	// deadline-unmeetable); coalesced counts simulations a request
+	// obtained from another request's in-flight run instead of its own.
+	shed      uint64
+	coalesced uint64
+}
+
+// addShed counts one request refused under overload.
+func (m *metrics) addShed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shed++
+}
+
+// addCoalesced counts one cell served by another request's in-flight
+// simulation.
+func (m *metrics) addCoalesced() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.coalesced++
 }
 
 type endpointMetrics struct {
@@ -156,6 +178,14 @@ func (m *metrics) render(cs CacheStats, ps PoolStats) string {
 	fmt.Fprintf(&b, "dgxsimd_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(&b, "dgxsimd_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(&b, "dgxsimd_cache_evictions_total %d\n", cs.Evictions)
+
+	fmt.Fprintf(&b, "dgxsimd_shed_total %d\n", m.shed)
+	fmt.Fprintf(&b, "dgxsimd_coalesced_total %d\n", m.coalesced)
+	// Admission-queue occupancy: depth is the tasks currently waiting
+	// (or blocked submitting), capacity the -queue-depth bound sheds
+	// kick in past.
+	fmt.Fprintf(&b, "dgxsimd_admission_queue_depth %d\n", ps.Queued)
+	fmt.Fprintf(&b, "dgxsimd_admission_queue_capacity %d\n", ps.QueueDepth)
 
 	fmt.Fprintf(&b, "dgxsimd_pool_workers %d\n", ps.Workers)
 	fmt.Fprintf(&b, "dgxsimd_pool_queued %d\n", ps.Queued)

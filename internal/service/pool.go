@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,17 +10,31 @@ import (
 	"time"
 )
 
+// ErrQueueFull reports that a non-blocking submission found the
+// admission queue at capacity. Handlers translate it into load shedding
+// (429 + Retry-After) instead of parking the request on backpressure.
+var ErrQueueFull = errors.New("pool: admission queue full")
+
 // Pool is a bounded worker pool for running independent simulations on
 // parallel goroutines. Every simulation builds its own sim.Engine, so
 // concurrent runs never share mutable state; the pool only bounds how
 // many are in flight at once. It backs the service's request fan-out and
 // the experiment sweeps, turning an N-way configuration grid into a
 // near-linear speedup on multicore.
+//
+// Admission is bounded separately from execution: the task queue holds
+// at most queueDepth entries beyond the running workers. Callers choose
+// their overload behaviour per submission — TrySubmit sheds immediately
+// when the queue is full, SubmitContext waits but abandons the attempt
+// when the caller's context ends, and Submit blocks unconditionally
+// (batch callers like the experiment sweeps, which have no client to
+// shed for).
 type Pool struct {
 	tasks chan func()
 	wg    sync.WaitGroup // worker goroutines
 
 	workers     int
+	queueDepth  int
 	queued      atomic.Int64 // submitted, not yet started
 	active      atomic.Int64 // currently executing
 	completed   atomic.Int64
@@ -30,17 +45,29 @@ type Pool struct {
 }
 
 // NewPool starts a pool of the given size; workers <= 0 selects
-// runtime.NumCPU(). Close the pool to release its goroutines.
+// runtime.NumCPU(). The admission queue defaults to one slot per worker.
+// Close the pool to release its goroutines.
 func NewPool(workers int) *Pool {
+	return NewPoolQueue(workers, 0)
+}
+
+// NewPoolQueue starts a pool with an explicit admission-queue depth:
+// how many tasks may wait beyond the ones executing (<= 0 selects the
+// default of one slot per worker). A short queue keeps submitters from
+// blocking on momentary bursts without letting waiting work grow
+// unboundedly under sustained overload — the knob behind dgxsimd's
+// -queue-depth flag.
+func NewPoolQueue(workers, queueDepth int) *Pool {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	if queueDepth <= 0 {
+		queueDepth = workers
+	}
 	p := &Pool{
-		// A buffer of one queue slot per worker keeps submitters from
-		// blocking on short bursts without letting the queue grow
-		// unboundedly under sustained overload.
-		tasks:   make(chan func(), workers),
-		workers: workers,
+		tasks:      make(chan func(), queueDepth),
+		workers:    workers,
+		queueDepth: queueDepth,
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -74,19 +101,66 @@ func (p *Pool) run(fn func()) {
 	fn()
 }
 
-// Submit enqueues a task, blocking while all workers are busy and the
-// queue is full (backpressure, not unbounded buffering). Submitting to a
-// closed pool panics, like sending on a closed channel.
-func (p *Pool) Submit(fn func()) {
-	p.queued.Add(1)
-	// Queue wait is measured from the submit attempt, so time spent
-	// blocked on backpressure counts as waiting too.
+// wrap stamps a task with queue-wait accounting. Queue wait is measured
+// from the submit attempt, so time spent blocked on backpressure counts
+// as waiting too.
+func (p *Pool) wrap(fn func()) func() {
 	enqueued := time.Now()
-	p.tasks <- func() {
+	return func() {
 		p.queueWaitNs.Add(time.Since(enqueued).Nanoseconds())
 		fn()
 	}
 }
+
+// Submit enqueues a task, blocking while all workers are busy and the
+// queue is full (backpressure, not unbounded buffering). Submitting to a
+// closed pool panics, like sending on a closed channel. Request paths
+// must use SubmitContext or TrySubmit instead: Submit cannot observe a
+// caller that has gone away, so a disconnected client's work would still
+// enqueue and run to completion.
+func (p *Pool) Submit(fn func()) {
+	p.queued.Add(1)
+	p.tasks <- p.wrap(fn)
+}
+
+// SubmitContext enqueues a task, waiting on backpressure only as long as
+// the context lives. It returns the context's error if the caller gives
+// up (deadline passed, client disconnected) before a queue slot opens —
+// in which case fn will never run.
+func (p *Pool) SubmitContext(ctx context.Context, fn func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.queued.Add(1)
+	select {
+	case p.tasks <- p.wrap(fn):
+		return nil
+	case <-ctx.Done():
+		p.queued.Add(-1)
+		return ctx.Err()
+	}
+}
+
+// TrySubmit enqueues a task only if a queue slot is free right now,
+// returning ErrQueueFull otherwise. It is the admission check behind
+// load shedding: a full queue means the daemon is already saturated for
+// at least the queue's worth of work, so a new request is better told to
+// retry than silently parked.
+func (p *Pool) TrySubmit(fn func()) error {
+	p.queued.Add(1)
+	select {
+	case p.tasks <- p.wrap(fn):
+		return nil
+	default:
+		p.queued.Add(-1)
+		return ErrQueueFull
+	}
+}
+
+// recordPanic counts a task panic recovered outside the pool's own
+// recovery (the service's cell runner recovers first so it can fail the
+// cell's flight; the count still belongs on the pool's gauge).
+func (p *Pool) recordPanic() { p.panics.Add(1) }
 
 // Close stops accepting tasks and waits for in-flight ones to finish.
 func (p *Pool) Close() {
@@ -96,23 +170,25 @@ func (p *Pool) Close() {
 
 // PoolStats is a snapshot of pool occupancy for /metrics.
 type PoolStats struct {
-	Workers   int
-	Queued    int64
-	Active    int64
-	Completed int64
-	Panics    int64
-	QueueWait time.Duration // cumulative submit-to-start wait across tasks
+	Workers    int
+	QueueDepth int // admission-queue capacity
+	Queued     int64
+	Active     int64
+	Completed  int64
+	Panics     int64
+	QueueWait  time.Duration // cumulative submit-to-start wait across tasks
 }
 
 // Stats snapshots the pool's occupancy counters.
 func (p *Pool) Stats() PoolStats {
 	return PoolStats{
-		Workers:   p.workers,
-		Queued:    p.queued.Load(),
-		Active:    p.active.Load(),
-		Completed: p.completed.Load(),
-		Panics:    p.panics.Load(),
-		QueueWait: time.Duration(p.queueWaitNs.Load()),
+		Workers:    p.workers,
+		QueueDepth: p.queueDepth,
+		Queued:     p.queued.Load(),
+		Active:     p.active.Load(),
+		Completed:  p.completed.Load(),
+		Panics:     p.panics.Load(),
+		QueueWait:  time.Duration(p.queueWaitNs.Load()),
 	}
 }
 
@@ -120,8 +196,10 @@ func (p *Pool) Stats() PoolStats {
 // the context is cancelled. Results are the caller's to collect — by
 // index, so output order never depends on completion order. The first
 // error (lowest index) wins; once the context is cancelled remaining
-// indices are skipped.
-func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
+// indices are skipped, submissions stop waiting on backpressure, and
+// each fn receives the context so started cells can abort mid-simulation
+// instead of running to completion.
+func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -145,15 +223,20 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 			wg.Done()
 			continue
 		}
-		p.Submit(func() {
+		err := p.SubmitContext(ctx, func() {
 			defer wg.Done()
 			if ctx.Err() != nil {
 				return
 			}
-			if err := p.call(i, fn); err != nil {
+			if err := p.call(ctx, i, fn); err != nil {
 				record(i, err)
 			}
 		})
+		if err != nil {
+			// The context ended while this submission waited for a queue
+			// slot; the remaining indices are skipped by the check above.
+			wg.Done()
+		}
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -162,17 +245,17 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 	return ctx.Err()
 }
 
-// call invokes fn(i), converting a panic into an ordinary error so one
-// poisoned grid cell surfaces as a 500 on its own request instead of
+// call invokes fn(ctx, i), converting a panic into an ordinary error so
+// one poisoned grid cell surfaces as a 500 on its own request instead of
 // crashing the daemon (and the other cells) with it.
-func (p *Pool) call(i int, fn func(i int) error) (err error) {
+func (p *Pool) call(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.panics.Add(1)
 			err = fmt.Errorf("task %d: panic: %v", i, r)
 		}
 	}()
-	if err = fn(i); err != nil {
+	if err = fn(ctx, i); err != nil {
 		err = fmt.Errorf("task %d: %w", i, err)
 	}
 	return err
@@ -183,7 +266,7 @@ func (p *Pool) call(i int, fn func(i int) error) (err error) {
 // and the experiment tables are built on.
 func MapIndexed[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := p.Map(ctx, n, func(i int) error {
+	err := p.Map(ctx, n, func(_ context.Context, i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -14,7 +14,7 @@ func TestPoolRunsEverything(t *testing.T) {
 	p := NewPool(4)
 	defer p.Close()
 	var n atomic.Int64
-	err := p.Map(context.Background(), 100, func(i int) error {
+	err := p.Map(context.Background(), 100, func(_ context.Context, i int) error {
 		n.Add(1)
 		return nil
 	})
@@ -38,7 +38,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 	p := NewPool(workers)
 	defer p.Close()
 	var cur, peak atomic.Int64
-	err := p.Map(context.Background(), 50, func(i int) error {
+	err := p.Map(context.Background(), 50, func(_ context.Context, i int) error {
 		c := cur.Add(1)
 		for {
 			pk := peak.Load()
@@ -62,7 +62,7 @@ func TestPoolMapFirstErrorWins(t *testing.T) {
 	p := NewPool(8)
 	defer p.Close()
 	boom := errors.New("boom")
-	err := p.Map(context.Background(), 64, func(i int) error {
+	err := p.Map(context.Background(), 64, func(_ context.Context, i int) error {
 		if i == 7 || i == 40 {
 			return fmt.Errorf("index %d: %w", i, boom)
 		}
@@ -85,7 +85,7 @@ func TestPoolMapHonoursCancellation(t *testing.T) {
 	var ran atomic.Int64
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- p.Map(ctx, 1000, func(i int) error {
+		errCh <- p.Map(ctx, 1000, func(_ context.Context, i int) error {
 			ran.Add(1)
 			time.Sleep(time.Millisecond)
 			return nil
@@ -134,7 +134,7 @@ func TestPoolMapPanicBecomesError(t *testing.T) {
 	p := NewPool(4)
 	defer p.Close()
 	var ran atomic.Int64
-	err := p.Map(context.Background(), 16, func(i int) error {
+	err := p.Map(context.Background(), 16, func(_ context.Context, i int) error {
 		if i == 3 {
 			panic("boom")
 		}
@@ -149,7 +149,7 @@ func TestPoolMapPanicBecomesError(t *testing.T) {
 	}
 	// The pool must still be fully operational afterwards.
 	var again atomic.Int64
-	if err := p.Map(context.Background(), 8, func(i int) error {
+	if err := p.Map(context.Background(), 8, func(_ context.Context, i int) error {
 		again.Add(1)
 		return nil
 	}); err != nil {
@@ -183,7 +183,7 @@ func TestPoolWorkerRecoversRawSubmitPanic(t *testing.T) {
 func TestPoolQueueWaitAccumulates(t *testing.T) {
 	p := NewPool(1)
 	defer p.Close()
-	err := p.Map(context.Background(), 4, func(i int) error {
+	err := p.Map(context.Background(), 4, func(_ context.Context, i int) error {
 		time.Sleep(5 * time.Millisecond)
 		return nil
 	})

@@ -46,6 +46,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -57,10 +58,19 @@ import (
 type Config struct {
 	// Workers bounds concurrent simulations (<= 0: runtime.NumCPU()).
 	Workers int
+	// QueueDepth bounds the admission queue: how many simulation tasks
+	// may wait for a worker before new requests are shed with 429
+	// instead of blocking (<= 0: one slot per worker).
+	QueueDepth int
 	// CacheSize bounds the result cache (<= 0: the default 1024).
 	CacheSize int
 	// Timeout bounds each request's simulation work (<= 0: 60s).
 	Timeout time.Duration
+	// RequestTimeout bounds a request's total time in the service,
+	// admission queueing included (<= 0: Timeout). A deadline that
+	// expires while the request is still waiting for a queue slot sheds
+	// it with 503 + Retry-After — the server could not have met it.
+	RequestTimeout time.Duration
 	// TraceStore bounds how many recent request traces /v1/trace can
 	// serve (<= 0: the default 256).
 	TraceStore int
@@ -76,6 +86,7 @@ type Server struct {
 	cfg     Config
 	pool    *Pool
 	cache   *Cache
+	flights *flightGroup
 	metrics *metrics
 	traces  *obs.Store
 	logger  *slog.Logger
@@ -87,10 +98,14 @@ func NewServer(cfg Config) *Server {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 60 * time.Second
 	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = cfg.Timeout
+	}
 	s := &Server{
 		cfg:     cfg,
-		pool:    NewPool(cfg.Workers),
+		pool:    NewPoolQueue(cfg.Workers, cfg.QueueDepth),
 		cache:   NewCache(cfg.CacheSize),
+		flights: newFlightGroup(),
 		metrics: newMetrics(),
 		traces:  obs.NewStore(cfg.TraceStore),
 		mux:     http.NewServeMux(),
@@ -163,6 +178,14 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 		h(rec, r)
 		d := time.Since(start)
 		s.metrics.observe(path, d, rec.status >= 400)
+		shed := rec.status == http.StatusTooManyRequests || rec.status == http.StatusServiceUnavailable
+		if shed {
+			s.metrics.addShed()
+			// A zero-length marker span, so a shed request's trace says
+			// why it carries no simulate span.
+			now := time.Now()
+			tr.AddSpan("shed", now, now)
+		}
 		s.traces.Put(tr)
 		if s.logger != nil {
 			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
@@ -171,11 +194,29 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 				slog.String("path", path),
 				slog.Int("status", rec.status),
 				slog.String("cache", rec.Header().Get("X-Cache")),
+				slog.String("disposition", disposition(shed, rec.Header().Get("X-Cache"))),
 				slog.Int64("queueDepth", queueDepth),
 				slog.Duration("latency", d),
 			)
 		}
 	}
+}
+
+// disposition summarizes how a request was resolved for the access log:
+// shed (refused under overload), or the cache disposition of its
+// primary cell; endpoints without one log "".
+func disposition(shed bool, cacheHdr string) string {
+	switch {
+	case shed:
+		return "shed"
+	case cacheHdr == "HIT":
+		return dispHit
+	case cacheHdr == "COALESCED":
+		return dispCoalesced
+	case cacheHdr == "MISS":
+		return dispMiss
+	}
+	return ""
 }
 
 // methodNotAllowed writes the 405 response HTTP semantics require for a
@@ -196,14 +237,30 @@ func methodNotAllowed(w http.ResponseWriter, allow string) {
 // the decoder.
 const maxBodyBytes = 1 << 20
 
+// retryAfterSeconds is the Retry-After hint on shed responses. Sheds
+// mean the admission queue is full of work bounded by Timeout, so "soon"
+// is honest; a fixed small value also keeps retry storms spread by the
+// clients' own jitter rather than synchronized by ours.
+const retryAfterSeconds = "1"
+
 // httpError maps an error to a status code and writes the JSON error
-// body every endpoint shares.
+// body every endpoint shares. Overload outcomes are distinguished from
+// request outcomes: a full admission queue is 429 and a deadline that
+// expired while still queueing is 503 (both with Retry-After — the
+// server's condition, try again); a deadline that expired mid-work is
+// 504 and a client that went away is 499 (the request's condition).
 func httpError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var mbe *http.MaxBytesError
 	switch {
 	case errors.As(err, &mbe):
 		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	case isAdmission(err) && errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds)
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -323,40 +380,309 @@ func writeJSONBytes(w http.ResponseWriter, b []byte) {
 	w.Write(append(b, '\n'))
 }
 
-// runCached executes one validated workload through the cache: hit
-// returns the memoized report; miss simulates and stores. It runs on
-// the caller's goroutine — fan-out across the pool happens at the
-// handler layer, never here (nesting pool waits inside pool tasks would
-// deadlock a full pool).
+// Cell dispositions: how each grid cell obtained its report. They feed
+// the X-Cache header, the access log, and dgxsimd_coalesced_total.
+const (
+	dispHit       = "hit"       // served from the result cache
+	dispMiss      = "miss"      // this request simulated it
+	dispCoalesced = "coalesced" // joined another request's in-flight run
+)
+
+// admissionError marks a context failure that struck while the request
+// was still waiting for admission (a pool queue slot). httpError maps a
+// deadline spent queueing to 503 + Retry-After — the server was too
+// loaded to even start, which is the server's overload, not the
+// request's slowness (504).
+type admissionError struct{ err error }
+
+func (e admissionError) Error() string { return "awaiting admission: " + e.err.Error() }
+func (e admissionError) Unwrap() error { return e.err }
+
+func isAdmission(err error) bool {
+	var ae admissionError
+	return errors.As(err, &ae)
+}
+
+// gridCell tracks one cell's coalescing state through runGrid.
+type gridCell struct {
+	i      int
+	key    string
+	flight *flight
+}
+
+// runGrid executes validated workloads through the cache, the
+// per-fingerprint flight group, and the worker pool, returning reports
+// and per-cell dispositions aligned with cells. It is the one execution
+// path behind /v1/simulate (one cell), /v1/compare (two), and /v1/sweep
+// (the grid). labels[i] prefixes cell i's span names ("cell[3] " for a
+// sweep cell, "p2p " for a compare arm) so fanned-out work attributes
+// back to the one originating trace.
 //
-// label prefixes the recorded span names ("cell[3] " for a sweep cell,
-// "p2p " for a compare arm) so a fanned-out request's per-cell timings
-// attribute back to the one originating trace; reports that retained
-// simulator intervals are attached to the trace for /v1/trace rendering.
-func (s *Server) runCached(ctx context.Context, label string, w core.Workload) (*core.Report, bool, error) {
+// Overload behaviour: cache hits are served unconditionally (no pool
+// slot needed). The first cell that actually needs a simulation is the
+// admission check — TrySubmit, so a full queue sheds the request with
+// ErrQueueFull (429) instead of parking it. Once admitted, remaining
+// cells queue with SubmitContext and a deadline that expires while one
+// waits surfaces as admissionError (503). Cells whose fingerprint is
+// already being simulated — by this request or any other — never submit
+// at all: they coalesce onto the in-flight run and wait on the handler
+// goroutine (never on a pool worker, which could deadlock a full pool).
+func (s *Server) runGrid(ctx context.Context, labels []string, cells []core.Workload) ([]*core.Report, []string, error) {
 	tr := obs.FromContext(ctx)
+	n := len(cells)
+	reports := make([]*core.Report, n)
+	disps := make([]string, n)
+	norm := make([]core.Workload, n)
+	var leaders, waiters []gridCell
+
+	// Phase 1: cache lookups and flight subscription, cheap and local.
 	// Normalizing before fingerprinting makes spelled-out defaults and
 	// omitted ones share a cache slot (Fingerprint normalizes internally
 	// too; doing it here keeps the cached Report's echoed workload
 	// identical for both spellings).
-	w = w.Normalize()
-	key := w.Fingerprint()
-	endLookup := tr.StartSpan(label + "cache-lookup")
-	r, ok := s.cache.Get(key)
-	endLookup()
-	if ok {
-		s.attachProfile(tr, label, r)
-		return r, true, nil
+	for i, w := range cells {
+		norm[i] = w.Normalize()
+		key := norm[i].Fingerprint()
+		endLookup := tr.StartSpan(labels[i] + "cache-lookup")
+		r, ok := s.cache.Get(key)
+		endLookup()
+		if ok {
+			s.attachProfile(tr, labels[i], r)
+			reports[i], disps[i] = r, dispHit
+			continue
+		}
+		f, leader := s.flights.join(key)
+		cell := gridCell{i: i, key: key, flight: f}
+		if leader {
+			leaders = append(leaders, cell)
+			disps[i] = dispMiss
+		} else {
+			waiters = append(waiters, cell)
+			disps[i] = dispCoalesced
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n
+		shedErr  error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err == nil {
+			return
+		}
+		// An overload signal (queue full, deadline burnt queueing) is the
+		// request's outcome no matter which cell raised it: the sibling
+		// cells' context errors are fallout of the same shed, and a 429
+		// or 503 tells the client strictly more than a 504 would.
+		if shedErr == nil && (errors.Is(err, ErrQueueFull) || isAdmission(err)) {
+			shedErr = err
+		}
+		if i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+	}
+
+	// Phase 2: leader fan-out on the pool. A submission failure must
+	// still complete the cell's flight — other requests may already be
+	// waiting on it — and abandons the cells not yet submitted.
+	var wg sync.WaitGroup
+	abandon := func(from int, err error) {
+		for _, c := range leaders[from:] {
+			s.flights.complete(c.key, c.flight, nil, err)
+			record(c.i, err)
+		}
+	}
+	if len(leaders) > 0 {
+		if err := ctx.Err(); err != nil {
+			// Dead before any admission attempt: the deadline/cancel is
+			// the request's own, not an overload signal.
+			abandon(0, err)
+			return nil, nil, err
+		}
+		submitted := time.Now()
+		for li, c := range leaders {
+			c := c
+			label := labels[c.i]
+			task := func() {
+				defer wg.Done()
+				tr.AddSpan(label+"queue-wait", submitted, time.Now())
+				rep, err := s.simulateCell(ctx, label, c.key, norm[c.i])
+				s.flights.complete(c.key, c.flight, rep, err)
+				reports[c.i] = rep
+				record(c.i, err)
+			}
+			wg.Add(1)
+			var err error
+			if li == 0 {
+				// The admission decision for the whole request: a full
+				// queue sheds it now rather than parking it.
+				err = s.pool.TrySubmit(task)
+			} else {
+				err = s.pool.SubmitContext(ctx, task)
+				if err != nil && !errors.Is(err, context.Canceled) {
+					err = admissionError{err}
+				}
+			}
+			if err != nil {
+				wg.Done()
+				abandon(li, err)
+				break
+			}
+		}
+	}
+	wg.Wait()
+
+	// Phase 3: waiter resolution, on the handler goroutine — a waiter
+	// must never occupy a pool worker while the leader it waits for sits
+	// in the queue behind it.
+	for _, c := range waiters {
+		rep, disp, err := s.awaitFlight(ctx, labels[c.i], c.key, c.flight, norm[c.i])
+		if err != nil {
+			record(c.i, err)
+			continue
+		}
+		reports[c.i] = rep
+		disps[c.i] = disp
+		if disp == dispCoalesced {
+			s.metrics.addCoalesced()
+		}
+	}
+
+	mu.Lock()
+	err, idx, shed := firstErr, firstIdx, shedErr
+	mu.Unlock()
+	if shed != nil {
+		return nil, nil, shed
+	}
+	if err != nil {
+		if n > 1 {
+			return nil, nil, fmt.Errorf("task %d: %w", idx, err)
+		}
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return reports, disps, nil
+}
+
+// simulateCell runs one workload on the current (pool-worker) goroutine
+// and stores the result. The recover mirrors Pool.call: a leader's
+// panic must fail its flight — waiters across requests are subscribed —
+// not strand them, and certainly not kill the daemon.
+func (s *Server) simulateCell(ctx context.Context, label, key string, w core.Workload) (rep *core.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.pool.recordPanic()
+			rep, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr := obs.FromContext(ctx)
+	// Double-check the cache (Peek: not a client lookup): between this
+	// cell's lookup and its flight win, an earlier flight for the key may
+	// have completed and stored — serving the stored report keeps "N
+	// identical misses, one simulation" true across that window too.
+	if rep, ok := s.cache.Peek(key); ok {
+		s.attachProfile(tr, label, rep)
+		return rep, nil
 	}
 	endSim := tr.StartSpan(label + "simulate")
-	r, err := core.RunContext(ctx, w)
+	rep, err = core.RunContext(ctx, w)
 	endSim()
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
-	s.cache.Put(key, r)
-	s.attachProfile(tr, label, r)
-	return r, false, nil
+	s.cache.Put(key, rep)
+	s.attachProfile(tr, label, rep)
+	return rep, nil
+}
+
+// awaitFlight blocks (on the handler goroutine) until the subscribed
+// flight completes, the context ends, or — when the leader failed for
+// reasons of its own (its client hung up, its deadline passed, it was
+// shed) while this request is still live — takes over: re-check the
+// cache, rejoin the flight, and lead the simulation itself if it wins
+// the new flight. The returned disposition records how the report was
+// finally obtained.
+func (s *Server) awaitFlight(ctx context.Context, label, key string, f *flight, w core.Workload) (*core.Report, string, error) {
+	tr := obs.FromContext(ctx)
+	endWait := tr.StartSpan(label + "coalesce-wait")
+	defer endWait()
+	for {
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		}
+		if f.err == nil {
+			s.attachProfile(tr, label, f.rep)
+			return f.rep, dispCoalesced, nil
+		}
+		if !retryableFlightErr(f.err) || ctx.Err() != nil {
+			return nil, "", f.err
+		}
+		// The leader's failure was about the leader, not the workload.
+		// Another request may have completed it meanwhile; otherwise
+		// race for the next flight.
+		if rep, ok := s.cache.Get(key); ok {
+			s.attachProfile(tr, label, rep)
+			return rep, dispHit, nil
+		}
+		var leader bool
+		f, leader = s.flights.join(key)
+		if leader {
+			rep, err := s.leadOne(ctx, label, key, f, w)
+			if err != nil {
+				return nil, "", err
+			}
+			return rep, dispMiss, nil
+		}
+	}
+}
+
+// leadOne runs one simulation for a waiter promoted to leader after the
+// original leader failed. It queues with SubmitContext — the request
+// was already willing to wait for this work — and publishes the outcome
+// (including a submission failure) to the flight it now owns.
+func (s *Server) leadOne(ctx context.Context, label, key string, f *flight, w core.Workload) (*core.Report, error) {
+	tr := obs.FromContext(ctx)
+	var (
+		rep  *core.Report
+		err  error
+		done = make(chan struct{})
+	)
+	submitted := time.Now()
+	serr := s.pool.SubmitContext(ctx, func() {
+		defer close(done)
+		tr.AddSpan(label+"queue-wait", submitted, time.Now())
+		rep, err = s.simulateCell(ctx, label, key, w)
+	})
+	if serr != nil {
+		if !errors.Is(serr, context.Canceled) {
+			serr = admissionError{serr}
+		}
+		s.flights.complete(key, f, nil, serr)
+		return nil, serr
+	}
+	<-done
+	s.flights.complete(key, f, rep, err)
+	return rep, err
+}
+
+// retryableFlightErr reports whether a leader's failure reflects the
+// leader's circumstances (cancelled, timed out, shed) rather than the
+// workload itself — the one case a still-live waiter should retry.
+func retryableFlightErr(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrQueueFull)
 }
 
 // attachProfile hangs a report's retained simulator timeline on the
@@ -384,42 +710,35 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if traced {
 		wl = withTracing(wl)
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	var (
-		rep *core.Report
-		hit bool
-	)
-	// One-task fan-out: the pool bounds simulation concurrency across
-	// all in-flight requests.
-	submitted := time.Now()
-	err = s.pool.Map(ctx, 1, func(int) error {
-		tr.AddSpan("queue-wait", submitted, time.Now())
-		var runErr error
-		rep, hit, runErr = s.runCached(ctx, "", wl)
-		return runErr
-	})
+	reps, disps, err := s.runGrid(ctx, []string{""}, []core.Workload{wl})
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	endEncode := tr.StartSpan("encode")
 	defer endEncode()
-	b, err := marshalReport(rep)
+	b, err := marshalReport(reps[0])
 	if err != nil {
 		httpError(w, err)
 		return
 	}
-	w.Header().Set("X-Cache", cacheHeader(hit))
+	w.Header().Set("X-Cache", cacheHeader(disps[0]))
 	w.Header().Set("X-Sim-Duration", tr.Dur("simulate").String())
 	writeJSONBytes(w, b)
 }
 
-func cacheHeader(hit bool) string {
-	if hit {
+// cacheHeader renders a cell disposition as the X-Cache header value.
+func cacheHeader(disp string) string {
+	switch disp {
+	case dispHit:
 		return "HIT"
+	case dispCoalesced:
+		return "COALESCED"
+	default:
+		return "MISS"
 	}
-	return "MISS"
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
@@ -440,25 +759,20 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		wl = withTracing(wl)
 	}
 	methods := []core.Method{core.P2P, core.NCCL}
-	for _, m := range methods {
+	cells := make([]core.Workload, len(methods))
+	labels := make([]string, len(methods))
+	for i, m := range methods {
 		wm := wl
 		wm.Method = m
 		if err := wm.Validate(); err != nil {
 			httpError(w, badRequestError{err})
 			return
 		}
+		cells[i], labels[i] = wm, string(m)+" "
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	submitted := time.Now()
-	reps, err := MapIndexed(ctx, s.pool, len(methods), func(i int) (*core.Report, error) {
-		label := string(methods[i]) + " "
-		tr.AddSpan(label+"queue-wait", submitted, time.Now())
-		wm := wl
-		wm.Method = methods[i]
-		rep, _, err := s.runCached(ctx, label, wm)
-		return rep, err
-	})
+	reps, _, err := s.runGrid(ctx, labels, cells)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -584,24 +898,36 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			grid[i] = withTracing(grid[i])
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	before := s.cache.Stats().Hits
-	submitted := time.Now()
-	results, err := MapIndexed(ctx, s.pool, len(grid), func(i int) (json.RawMessage, error) {
-		// Per-cell spans carry the grid index, so the sweep's fan-out
-		// attributes back to this one request's trace cell by cell.
-		label := fmt.Sprintf("cell[%d] ", i)
-		tr.AddSpan(label+"queue-wait", submitted, time.Now())
-		rep, _, err := s.runCached(ctx, label, grid[i])
-		if err != nil {
-			return nil, err
-		}
-		return marshalReport(rep)
-	})
+	// Per-cell spans carry the grid index, so the sweep's fan-out
+	// attributes back to this one request's trace cell by cell.
+	labels := make([]string, len(grid))
+	for i := range grid {
+		labels[i] = fmt.Sprintf("cell[%d] ", i)
+	}
+	reps, disps, err := s.runGrid(ctx, labels, grid)
 	if err != nil {
 		httpError(w, err)
 		return
+	}
+	// Hits are counted from this request's own cell dispositions. (An
+	// earlier version diffed the global cache-hit counter around the
+	// fan-out, which attributed every concurrent request's hits — and
+	// this request's own duplicate-cell coalescing — to whoever read the
+	// counter last.)
+	hits := 0
+	for _, d := range disps {
+		if d == dispHit {
+			hits++
+		}
+	}
+	results := make([]json.RawMessage, len(reps))
+	for i, rep := range reps {
+		if results[i], err = marshalReport(rep); err != nil {
+			httpError(w, err)
+			return
+		}
 	}
 	endEncode := tr.StartSpan("encode")
 	defer endEncode()
@@ -610,7 +936,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	w.Header().Set("X-Cache-Hits", fmt.Sprintf("%d", s.cache.Stats().Hits-before))
+	w.Header().Set("X-Cache-Hits", fmt.Sprintf("%d", hits))
 	w.Header().Set("X-Sim-Duration", tr.Dur("simulate").String())
 	writeJSONBytes(w, b)
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -343,7 +344,7 @@ func TestPanickingPoolTaskYields500NotDeadProcess(t *testing.T) {
 	// A handler that fans a poisoned task out on the server's pool,
 	// exactly like the simulate/sweep handlers fan out their cells.
 	panicky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		err := svc.pool.Map(r.Context(), 1, func(int) error { panic("poisoned cell") })
+		err := svc.pool.Map(r.Context(), 1, func(context.Context, int) error { panic("poisoned cell") })
 		if err != nil {
 			httpError(w, err)
 			return

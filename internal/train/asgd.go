@@ -47,6 +47,9 @@ func (t *Trainer) runAsync() (*Result, error) {
 	}
 	var firstIterEnd, lastSimEnd time.Duration
 	for i := 0; i < nsim; i++ {
+		if err := t.cancelled(); err != nil {
+			return nil, err
+		}
 		for _, d := range t.devs {
 			end, err := t.asyncWorkerIteration(d, root, clock[d])
 			if err != nil {

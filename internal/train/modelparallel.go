@@ -290,6 +290,9 @@ func (t *Trainer) runModelParallel() (*Result, error) {
 	var fpW, bpW, wuW, iterDur time.Duration
 	start := now
 	for i := 0; i < nsim; i++ {
+		if err := t.cancelled(); err != nil {
+			return nil, err
+		}
 		fpEnd, bpEnd, barrier, err := runIteration(start)
 		if err != nil {
 			return nil, err

@@ -255,6 +255,25 @@ type Trainer struct {
 	grads []layerGrad
 	// ran guards the single-shot simulation (the engine is consumed).
 	ran bool
+	// check, when set, is consulted between simulated iterations; a
+	// non-nil return aborts the run with that error. It is the
+	// cooperative-cancellation hook the core layer wires a request
+	// context into, so an abandoned request stops burning CPU at the
+	// next iteration boundary instead of simulating its whole epoch.
+	check func() error
+}
+
+// SetCheck installs a cancellation probe consulted between simulated
+// iterations (see Trainer.check). A nil probe (the default) never
+// aborts. It must be set before Run or SimulateWindow.
+func (t *Trainer) SetCheck(check func() error) { t.check = check }
+
+// cancelled consults the cancellation probe, if any.
+func (t *Trainer) cancelled() error {
+	if t.check == nil {
+		return nil
+	}
+	return t.check()
 }
 
 // New builds a trainer, enforcing the device-memory gate (it returns an

@@ -104,6 +104,9 @@ func (t *Trainer) SimulateWindow() (*Window, error) {
 	var err error
 	var it iterTimes
 	for i := 0; i < nsim; i++ {
+		if err := t.cancelled(); err != nil {
+			return nil, err
+		}
 		it, dataReady, err = t.runIteration(start, dataReady)
 		if err != nil {
 			return nil, err

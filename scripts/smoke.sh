@@ -63,6 +63,10 @@ for series in \
     dgxsimd_pool_queue_wait_seconds_total \
     dgxsimd_pool_panics_total \
     dgxsimd_request_duration_seconds_bucket \
+    dgxsimd_shed_total \
+    dgxsimd_coalesced_total \
+    dgxsimd_admission_queue_depth \
+    dgxsimd_admission_queue_capacity \
     dgxsimd_inflight; do
     grep -q "$series" <<<"$METRICS" || fail "/metrics missing $series"
 done
@@ -72,5 +76,69 @@ curl -fsS "$BASE/debug/pprof/cmdline" >/dev/null || fail "pprof not mounted"
 
 echo "smoke: checking access log"
 grep -q "\"id\":\"$REQ_ID\"" "$LOG" || fail "access log missing request $REQ_ID"
+
+echo "smoke: shed-path probe (tiny admission queue, concurrent flood)"
+SHED_ADDR="${SMOKE_SHED_ADDR:-127.0.0.1:18081}"
+SHED_BASE="http://$SHED_ADDR"
+SHED_LOG="$(mktemp)"
+"$BIN" -addr "$SHED_ADDR" -workers 1 -queue-depth 1 2>"$SHED_LOG" &
+SHED_PID=$!
+shed_cleanup() {
+    kill "$SHED_PID" 2>/dev/null || true
+    wait "$SHED_PID" 2>/dev/null || true
+    rm -f "$SHED_LOG"
+}
+for i in $(seq 1 50); do
+    curl -fsS "$SHED_BASE/healthz" >/dev/null 2>&1 && break
+    kill -0 "$SHED_PID" 2>/dev/null || { cat "$SHED_LOG" >&2; shed_cleanup; fail "shed daemon exited during startup"; }
+    sleep 0.1
+done
+
+# Flood the 1-worker/1-slot daemon with distinct (uncacheable,
+# uncoalesceable) heavy workloads; at least one must be refused with
+# 429 + Retry-After rather than parked. Retry a few rounds in case the
+# first simulations finish before the flood overlaps.
+GOT_429=0
+for round in $(seq 1 5); do
+    FLOOD_DIR="$(mktemp -d)"
+    CURL_PIDS=()
+    for i in $(seq 1 20); do
+        curl -s -o /dev/null -D "$FLOOD_DIR/$i.hdr" -w '%{http_code}' \
+            -X POST "$SHED_BASE/v1/simulate" \
+            -d "{\"Model\":\"inception-v3\",\"GPUs\":8,\"Batch\":$((16 + round * 20 + i))}" \
+            >"$FLOOD_DIR/$i.code" &
+        CURL_PIDS+=($!)
+    done
+    # Wait for the flood only — a bare `wait` would also wait on the
+    # daemons themselves.
+    wait "${CURL_PIDS[@]}"
+    for i in $(seq 1 20); do
+        CODE="$(cat "$FLOOD_DIR/$i.code")"
+        case "$CODE" in
+        429)
+            grep -qi '^retry-after:' "$FLOOD_DIR/$i.hdr" \
+                || { rm -rf "$FLOOD_DIR"; shed_cleanup; fail "429 response missing Retry-After"; }
+            GOT_429=1
+            ;;
+        200 | 503) ;;
+        *)
+            # Every request must be answered with a real status, never
+            # dropped or crashed out.
+            rm -rf "$FLOOD_DIR"; shed_cleanup; fail "unexpected status $CODE under flood"
+            ;;
+        esac
+    done
+    rm -rf "$FLOOD_DIR"
+    [[ "$GOT_429" == 1 ]] && break
+done
+[[ "$GOT_429" == 1 ]] || { shed_cleanup; fail "flood never produced a 429 shed"; }
+
+# The daemon must be fully healthy after the flood.
+curl -fsS "$SHED_BASE/healthz" >/dev/null || { shed_cleanup; fail "shed daemon unhealthy after flood"; }
+SHED_METRICS="$(curl -fsS "$SHED_BASE/metrics")" || { shed_cleanup; fail "shed daemon /metrics failed"; }
+grep -q 'dgxsimd_shed_total [1-9]' <<<"$SHED_METRICS" \
+    || { shed_cleanup; fail "dgxsimd_shed_total did not count the flood"; }
+shed_cleanup
+echo "smoke: shed-path probe OK"
 
 echo "smoke: PASS"
