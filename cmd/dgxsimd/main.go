@@ -11,7 +11,14 @@
 //	curl -s localhost:8080/v1/simulate -d '{"Model":"alexnet","GPUs":8,"Batch":16,"faults":{"failedLinks":[{"a":0,"b":1}]}}'
 //	curl -s localhost:8080/v1/sweep -d '{"Models":["lenet","alexnet"],"GPUs":[1,2,4,8],"Batches":[16],"Methods":["p2p","nccl"]}'
 //	curl -s localhost:8080/v1/validate -d '{"Model":"resnet","GPUs":16,"Batch":32}'
+//	curl -s localhost:8080/v1/cluster/simulate -d '{"nodes":[{"count":4}],"mix":{"jobs":500},"policy":"frag-aware"}'
 //	curl -s localhost:8080/metrics
+//
+// /v1/cluster/simulate runs a fleet of simulated DGX-1 nodes (each
+// optionally fault-degraded) against a trace of job arrivals in virtual
+// time and returns JCT/queueing distributions, utilization, and makespan
+// (see internal/cluster); placement policies: first-fit, best-fit,
+// frag-aware; queue disciplines: fifo, sjf.
 //
 // Observability: every response carries an X-Request-ID; a request body
 // with "trace": true retains the simulator's stage intervals, and

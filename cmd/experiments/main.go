@@ -37,7 +37,8 @@ func main() {
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+			fmt.Printf("%-14s   %s\n", "", e.Desc)
 		}
 		return
 	}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// The cluster simulator must be deterministic end to end: the same Spec
+// (same seed) produces a byte-identical JSON Result, whatever the wall
+// clock reads and whatever the core caches already hold. This mirrors
+// the experiments determinism guard — it is what makes policy
+// comparisons exact rather than statistical.
+func TestSimulateDeterministic(t *testing.T) {
+	spec := Spec{
+		Nodes: []NodeSpec{
+			{Faults: &faults.Plan{Stragglers: []faults.Straggler{{GPU: 0, Slowdown: 1.5}}}},
+			{Count: 2},
+		},
+		Mix:    &Mix{Jobs: 40, MeanInterarrival: 30 * time.Second},
+		Policy: PolicyFragAware,
+		Queue:  QueueSJF,
+		Seed:   42,
+	}
+	a, err := Simulate(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sleep so any hidden wall-clock dependence (trace generation,
+	// event ordering, stats) would shift between the runs.
+	time.Sleep(10 * time.Millisecond)
+	b, err := Simulate(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Errorf("identical specs produced different results:\n%s\n%s", ja, jb)
+	}
+}
+
+// Trace generation is a pure function of (Mix, seed): repeated calls are
+// identical, different seeds differ, and virtual arrival times never
+// come from the wall clock (they are offsets from zero, nondecreasing).
+func TestGenerateTraceDeterministic(t *testing.T) {
+	m := Mix{Jobs: 200, MeanInterarrival: DefaultMeanInterarrival, MaxRepeats: DefaultMaxRepeats}
+	a, err := json.Marshal(GenerateTrace(m, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	b, err := json.Marshal(GenerateTrace(m, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("same seed generated different traces")
+	}
+	c, err := json.Marshal(GenerateTrace(m, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(c) {
+		t.Error("different seeds generated identical traces")
+	}
+}
+
+func TestGenerateTraceShape(t *testing.T) {
+	m := Mix{Jobs: 500, MeanInterarrival: DefaultMeanInterarrival, MaxRepeats: DefaultMaxRepeats}
+	jobs := GenerateTrace(m, 3)
+	if len(jobs) != m.Jobs {
+		t.Fatalf("generated %d jobs, want %d", len(jobs), m.Jobs)
+	}
+	small, large := 0, 0
+	var last time.Duration
+	for i, j := range jobs {
+		if j.Arrival < last {
+			t.Fatalf("job %d arrives at %v before its predecessor at %v", i, j.Arrival, last)
+		}
+		last = j.Arrival
+		if w := j.workload(nil); w.Validate() != nil {
+			t.Fatalf("generated job %d invalid: %+v", i, j)
+		}
+		switch j.GPUs {
+		case 1:
+			small++
+		case 8:
+			large++
+		}
+	}
+	// The PAI-modeled mix: single-GPU jobs dominate, 8-GPU jobs are a
+	// thin tail. Loose bounds — the point is the shape, not the decimals.
+	if small < len(jobs)/2 {
+		t.Errorf("only %d/%d single-GPU jobs; the mix should skew small", small, len(jobs))
+	}
+	if large == 0 || large > len(jobs)/5 {
+		t.Errorf("%d/%d 8-GPU jobs; want a thin but non-empty tail", large, len(jobs))
+	}
+}

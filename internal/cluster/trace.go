@@ -1,0 +1,112 @@
+// Trace generation: a seeded synthetic job mix modeled on the
+// Alibaba-PAI characterization of production DL training clusters. The
+// shape it reproduces: arrivals are a Poisson process; most jobs are
+// small (single-GPU, small models, modest datasets) and highly
+// repetitive (the same template resubmitted many times); a long tail of
+// large multi-GPU jobs carries a disproportionate share of the GPU-time.
+// Everything draws from one explicit math/rand source — the wall clock
+// is never consulted — so a (Mix, seed) pair always generates the same
+// trace, byte for byte.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Generated-mix defaults (see Mix).
+const (
+	DefaultMeanInterarrival = 45 * time.Second
+	DefaultMaxRepeats       = 12
+)
+
+// weighted is one discrete choice of the mix distributions.
+type weighted[T any] struct {
+	v T
+	w float64
+}
+
+// pick draws one value from a weighted table.
+func pick[T any](rng *rand.Rand, table []weighted[T]) T {
+	total := 0.0
+	for _, e := range table {
+		total += e.w
+	}
+	x := rng.Float64() * total
+	for _, e := range table {
+		x -= e.w
+		if x < 0 {
+			return e.v
+		}
+	}
+	return table[len(table)-1].v
+}
+
+// The PAI-modeled mix tables. GPU demand skews hard toward single-GPU
+// jobs (PAI: the majority of jobs are small) with a thin 8-GPU tail;
+// models skew toward the shallow end of the zoo; dataset sizes give the
+// service-time distribution its heavy tail.
+var (
+	mixGPUs = []weighted[int]{
+		{1, 0.62}, {2, 0.20}, {4, 0.12}, {8, 0.06},
+	}
+	mixModels = []weighted[string]{
+		{"lenet", 0.34}, {"alexnet", 0.30}, {"resnet", 0.16},
+		{"googlenet", 0.12}, {"inception-v3", 0.08},
+	}
+	mixBatches = []weighted[int]{
+		{16, 0.5}, {32, 0.3}, {64, 0.2},
+	}
+	mixImages = []weighted[int64]{
+		{16384, 0.60}, {65536, 0.30}, {262144, 0.10},
+	}
+)
+
+// sampleRepeats draws a heavy-tailed resubmission count in 1..max: a
+// Pareto-ish tail (floor of U^-0.8) so most templates recur a handful of
+// times and a few recur up to the cap — PAI's "highly repetitive" head.
+func sampleRepeats(rng *rand.Rand, max int) int {
+	r := int(math.Pow(rng.Float64(), -0.8))
+	if r < 1 {
+		r = 1
+	}
+	if r > max {
+		r = max
+	}
+	return r
+}
+
+// GenerateTrace expands a normalized mix into a concrete job list:
+// templates are sampled from the PAI-modeled tables, each recurs a
+// heavy-tailed number of times, and successive arrivals advance the
+// virtual clock by exponential inter-arrival gaps (a Poisson process).
+// Arrivals come out in nondecreasing time order, named after their
+// template and recurrence ("t3.r2"). Deterministic in (m, seed).
+func GenerateTrace(m Mix, seed int64) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]Job, 0, m.Jobs)
+	var now time.Duration
+	template := 0
+	for len(jobs) < m.Jobs {
+		t := Job{
+			Model:  pick(rng, mixModels),
+			GPUs:   pick(rng, mixGPUs),
+			Batch:  pick(rng, mixBatches),
+			Method: "nccl",
+			Images: pick(rng, mixImages),
+		}
+		repeats := sampleRepeats(rng, m.MaxRepeats)
+		for r := 0; r < repeats && len(jobs) < m.Jobs; r++ {
+			now += time.Duration(rng.ExpFloat64() * float64(m.MeanInterarrival))
+			j := t
+			j.Name = fmt.Sprintf("t%d.r%d", template, r)
+			j.Arrival = now
+			j.Repeats = 1
+			jobs = append(jobs, j)
+		}
+		template++
+	}
+	return jobs
+}

@@ -317,6 +317,22 @@ func Simulate(w Workload) (*train.Result, error) {
 	return simulate(w.Normalize())
 }
 
+// SimulateContext is Simulate honouring cancellation and deadlines, with
+// the same cooperative semantics as RunContext (checks between pipeline
+// stages and simulated iterations; shared compile flights abort when the
+// last interested caller leaves). Callers that need the full
+// train.Result — the cluster scheduler pricing job service times, say —
+// use this instead of wrapping RunContext's summary Report.
+func SimulateContext(ctx context.Context, w Workload) (*train.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return simulateCtx(ctx, w.Normalize())
+}
+
 // simulate dispatches a normalized workload on the caller's goroutine
 // with no cancellation (the Run entry point).
 func simulate(w Workload) (*train.Result, error) {

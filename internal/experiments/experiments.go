@@ -60,6 +60,9 @@ type Experiment struct {
 	ID string
 	// Title describes the artifact.
 	Title string
+	// Desc is the one-line summary `experiments -list` prints under the
+	// title: what the run sweeps and what its tables show.
+	Desc string
 	// Run executes the sweep and renders its tables.
 	Run func(Options) ([]*report.Table, error)
 }
@@ -67,20 +70,51 @@ type Experiment struct {
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{ID: "table1", Title: "Table I: description of the networks", Run: Table1},
-		{ID: "fig1", Title: "Figure 1: multi-GPU training timeline (one epoch start)", Run: Fig1},
-		{ID: "fig2", Title: "Figure 2: DGX-1 network topology", Run: Fig2},
-		{ID: "fig3", Title: "Figure 3: training time per epoch, P2P vs NCCL", Run: Fig3},
-		{ID: "table2", Title: "Table II: NCCL overhead vs P2P on a single GPU", Run: Table2},
-		{ID: "fig4", Title: "Figure 4: training time breakdown into FP+BP and WU", Run: Fig4},
-		{ID: "table3", Title: "Table III: cudaStreamSynchronize overhead for LeNet", Run: Table3},
-		{ID: "table4", Title: "Table IV: memory usage, pre-training and training", Run: Table4},
-		{ID: "fig5", Title: "Figure 5: weak scaling", Run: Fig5},
-		{ID: "insights", Title: "Conformance: the paper's stated insights, re-checked", Run: Insights},
-		{ID: "optimizations", Title: "Extension: post-paper remedies (bucketing, tree algorithm)", Run: Optimizations},
-		{ID: "layers", Title: "Extension: layer-by-layer roofline characterization", Run: Layers},
-		{ID: "hardware", Title: "Extension: hardware generations and transport baselines", Run: Hardware},
-		{ID: "resilience", Title: "Extension: training under injected fabric faults", Run: Resilience},
+		{ID: "table1", Title: "Table I: description of the networks",
+			Desc: "static model census: layers, parameter bytes, and per-image FLOPs for the five networks",
+			Run:  Table1},
+		{ID: "fig1", Title: "Figure 1: multi-GPU training timeline (one epoch start)",
+			Desc: "one epoch's FP/BP/WU lanes per GPU, showing the synchronized start the paper traces",
+			Run:  Fig1},
+		{ID: "fig2", Title: "Figure 2: DGX-1 network topology",
+			Desc: "the 8-GPU NVLink hybrid cube-mesh: link table, hop counts, and bisection bandwidth",
+			Run:  Fig2},
+		{ID: "fig3", Title: "Figure 3: training time per epoch, P2P vs NCCL",
+			Desc: "epoch-time sweep over model x GPUs x batch for both update methods",
+			Run:  Fig3},
+		{ID: "table2", Title: "Table II: NCCL overhead vs P2P on a single GPU",
+			Desc: "single-GPU penalty of routing updates through NCCL when no transfer is needed",
+			Run:  Table2},
+		{ID: "fig4", Title: "Figure 4: training time breakdown into FP+BP and WU",
+			Desc: "where the epoch goes: compute vs exposed weight update, per model and GPU count",
+			Run:  Fig4},
+		{ID: "table3", Title: "Table III: cudaStreamSynchronize overhead for LeNet",
+			Desc: "sync-call share of small-model epochs, the paper's LeNet bottleneck diagnosis",
+			Run:  Table3},
+		{ID: "table4", Title: "Table IV: memory usage, pre-training and training",
+			Desc: "per-GPU memory footprint before and during training across the sweep",
+			Run:  Table4},
+		{ID: "fig5", Title: "Figure 5: weak scaling",
+			Desc: "fixed per-GPU batch scaling, where communication growth erodes the ideal slope",
+			Run:  Fig5},
+		{ID: "insights", Title: "Conformance: the paper's stated insights, re-checked",
+			Desc: "each prose claim in the paper re-evaluated against the simulator, pass/fail",
+			Run:  Insights},
+		{ID: "optimizations", Title: "Extension: post-paper remedies (bucketing, tree algorithm)",
+			Desc: "gradient bucketing and tree reductions applied to the paper's worst cases",
+			Run:  Optimizations},
+		{ID: "layers", Title: "Extension: layer-by-layer roofline characterization",
+			Desc: "per-layer arithmetic intensity and roofline placement for every network",
+			Run:  Layers},
+		{ID: "hardware", Title: "Extension: hardware generations and transport baselines",
+			Desc: "the same sweep on Pascal, PCIe-only, and NVSwitch machines plus a CPU parameter server",
+			Run:  Hardware},
+		{ID: "resilience", Title: "Extension: training under injected fabric faults",
+			Desc: "severity ladder of link failures, stragglers, and PCIe contention on one node's epoch",
+			Run:  Resilience},
+		{ID: "fleet", Title: "Extension: multi-tenant fleet scheduling over simulated DGX-1s",
+			Desc: "placement policy x fleet size x fault severity over a PAI-style job trace; JCT tails and queue discipline",
+			Run:  Fleet},
 	}
 }
 

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// The fleet experiment's headline claim: on a degraded 4-node fleet,
+// fault-aware placement at least halves tail JCT versus first-fit on the
+// same trace. The experiment table reports the ratio; this pins it.
+func TestFleetPolicyGapOnDegradedFleet(t *testing.T) {
+	run := func(policy string) *cluster.Result {
+		r, err := cluster.Simulate(context.Background(), cluster.Spec{
+			Nodes:  fleetSeverities()[1].nodes(4),
+			Mix:    fleetMix(),
+			Policy: policy,
+			Seed:   1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		return r
+	}
+	ff := run(cluster.PolicyFirstFit)
+	fa := run(cluster.PolicyFragAware)
+	if ratio := float64(ff.JCT.P99) / float64(fa.JCT.P99); ratio < 2 {
+		t.Errorf("first-fit p99 %v vs frag-aware p99 %v: ratio %.2fx, want >= 2x",
+			ff.JCT.P99, fa.JCT.P99, ratio)
+	}
+}
+
+// Every experiment in the registry carries the one-line description
+// `experiments -list` prints.
+func TestAllExperimentsDescribed(t *testing.T) {
+	for _, e := range All() {
+		if e.Desc == "" {
+			t.Errorf("%s: empty Desc", e.ID)
+		}
+	}
+}

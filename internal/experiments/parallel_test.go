@@ -21,6 +21,7 @@ func TestParallelSweepsRenderIdentically(t *testing.T) {
 		{"fig5", Fig5},
 		{"table2", Table2},
 		{"table3", Table3},
+		{"fleet", Fleet},
 	}
 	workers := runtime.NumCPU()
 	if workers < 2 {

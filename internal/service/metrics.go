@@ -36,6 +36,31 @@ type metrics struct {
 	// obtained from another request's in-flight run instead of its own.
 	shed      uint64
 	coalesced uint64
+
+	// Cluster-simulation counters: clusterJobs accumulates jobs scheduled
+	// across all fleet simulations; the clusterSim histogram observes
+	// each simulation's wall time (a whole trace is one observation, so
+	// its distribution is separate from the per-request latency series).
+	clusterJobs    uint64
+	clusterBuckets []uint64
+	clusterCount   uint64
+	clusterSum     time.Duration
+}
+
+// addCluster records one completed fleet simulation: its scheduled job
+// count and its wall time.
+func (m *metrics) addCluster(jobs int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clusterJobs += uint64(jobs)
+	m.clusterCount++
+	m.clusterSum += d
+	secs := d.Seconds()
+	for i, le := range latencyBuckets {
+		if secs <= le {
+			m.clusterBuckets[i]++
+		}
+	}
 }
 
 // addShed counts one request refused under overload.
@@ -67,7 +92,11 @@ type endpointMetrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
+	return &metrics{
+		start:          time.Now(),
+		endpoints:      make(map[string]*endpointMetrics),
+		clusterBuckets: make([]uint64, len(latencyBuckets)),
+	}
 }
 
 // endpoint returns the (created-on-first-use) record for a path. Callers
@@ -181,6 +210,14 @@ func (m *metrics) render(cs CacheStats, ps PoolStats) string {
 
 	fmt.Fprintf(&b, "dgxsimd_shed_total %d\n", m.shed)
 	fmt.Fprintf(&b, "dgxsimd_coalesced_total %d\n", m.coalesced)
+
+	fmt.Fprintf(&b, "dgxsimd_cluster_jobs_total %d\n", m.clusterJobs)
+	for i, le := range latencyBuckets {
+		fmt.Fprintf(&b, "dgxsimd_cluster_sim_seconds_bucket{le=\"%g\"} %d\n", le, m.clusterBuckets[i])
+	}
+	fmt.Fprintf(&b, "dgxsimd_cluster_sim_seconds_bucket{le=\"+Inf\"} %d\n", m.clusterCount)
+	fmt.Fprintf(&b, "dgxsimd_cluster_sim_seconds_sum %.6f\n", m.clusterSum.Seconds())
+	fmt.Fprintf(&b, "dgxsimd_cluster_sim_seconds_count %d\n", m.clusterCount)
 	// Admission-queue occupancy: depth is the tasks currently waiting
 	// (or blocked submitting), capacity the -queue-depth bound sheds
 	// kick in past.

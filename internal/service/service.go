@@ -14,6 +14,10 @@
 //	                   out on the pool -> reports in grid order
 //	POST /v1/validate  check a workload without simulating it -> validity,
 //	                   fingerprint, and the normalized workload
+//	POST /v1/cluster/simulate
+//	                   a cluster.Spec (fleet of simulated DGX-1 nodes +
+//	                   job trace + placement policy) -> JCT/queueing
+//	                   distributions, utilization, makespan
 //	GET  /v1/models    the model zoo
 //	GET  /v1/trace/{id} the recorded timeline of a recent request as a
 //	                   Chrome trace (service spans; plus the inner FP/BP/WU
@@ -117,6 +121,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/compare", s.instrument("/v1/compare", s.handleCompare))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/validate", s.instrument("/v1/validate", s.handleValidate))
+	s.mux.HandleFunc("/v1/cluster/simulate", s.instrument("/v1/cluster/simulate", s.handleClusterSimulate))
 	s.mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
 	s.mux.HandleFunc("/v1/trace/", s.instrument("/v1/trace", s.handleTrace))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))

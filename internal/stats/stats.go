@@ -61,6 +61,26 @@ func Repetitions(exact time.Duration, j *sim.Jitter, n int) []time.Duration {
 	return out
 }
 
+// Quantile returns the q-th (0..1) value of a sorted sample using the
+// nearest-rank definition: the ⌈q·n⌉-th smallest. Nearest-rank keeps
+// high quantiles honest over small samples (p99 of 2 samples is the
+// larger one, not the minimum) — the same definition the service's
+// /metrics percentiles use.
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
 // Speedup returns base/x (how many times faster x is than base).
 func Speedup(base, x time.Duration) float64 {
 	if x <= 0 {

@@ -71,6 +71,28 @@ for series in \
     grep -q "$series" <<<"$METRICS" || fail "/metrics missing $series"
 done
 
+echo "smoke: fleet simulation request"
+CLUSTER_BODY='{
+  "nodes": [{"count": 2}],
+  "jobs": [
+    {"model": "lenet", "gpus": 1, "batch": 16, "images": 4096, "arrivalNs": 0},
+    {"model": "lenet", "gpus": 1, "batch": 16, "images": 4096, "arrivalNs": 0},
+    {"model": "lenet", "gpus": 4, "batch": 16, "images": 4096, "arrivalNs": 1000000000},
+    {"model": "lenet", "gpus": 8, "batch": 16, "images": 4096, "arrivalNs": 2000000000},
+    {"model": "lenet", "gpus": 1, "batch": 16, "images": 4096, "arrivalNs": 2000000000, "repeats": 3}
+  ]
+}'
+CLUSTER="$(curl -fsS -X POST "$BASE/v1/cluster/simulate" -d "$CLUSTER_BODY")" \
+    || fail "POST /v1/cluster/simulate failed"
+grep -q '"jct"' <<<"$CLUSTER" || fail "cluster response missing the JCT block"
+grep -q '"makespanNs"' <<<"$CLUSTER" || fail "cluster response missing makespan"
+grep -q '"perNode"' <<<"$CLUSTER" || fail "cluster response missing per-node stats"
+CLUSTER_METRICS="$(curl -fsS "$BASE/metrics")" || fail "GET /metrics after cluster failed"
+grep -q 'dgxsimd_cluster_jobs_total 5' <<<"$CLUSTER_METRICS" \
+    || fail "dgxsimd_cluster_jobs_total did not count the fleet's jobs"
+grep -q 'dgxsimd_cluster_sim_seconds_count 1' <<<"$CLUSTER_METRICS" \
+    || fail "dgxsimd_cluster_sim_seconds histogram did not observe the run"
+
 echo "smoke: checking pprof"
 curl -fsS "$BASE/debug/pprof/cmdline" >/dev/null || fail "pprof not mounted"
 
