@@ -1,18 +1,33 @@
 // Command dgxsimd serves the simulator over HTTP/JSON: one-shot
-// simulations, P2P-vs-NCCL comparisons, and parallel what-if sweeps over
-// configuration grids, backed by a bounded worker pool and a
+// simulations, P2P-vs-NCCL comparisons, parallel what-if sweeps over
+// configuration grids (buffered or streamed as NDJSON), and a Pareto
+// configuration optimizer, backed by a bounded worker pool and a
 // deterministic result cache (see internal/service).
 //
 // Usage:
 //
 //	dgxsimd -addr :8080 -workers 8 -queue-depth 16 -cache 1024 -timeout 60s -pprof
 //
+//	curl -s localhost:8080/v1/                    # machine-readable API index
 //	curl -s localhost:8080/v1/simulate -d '{"Model":"resnet","GPUs":4,"Batch":32}'
 //	curl -s localhost:8080/v1/simulate -d '{"Model":"alexnet","GPUs":8,"Batch":16,"faults":{"failedLinks":[{"a":0,"b":1}]}}'
 //	curl -s localhost:8080/v1/sweep -d '{"Models":["lenet","alexnet"],"GPUs":[1,2,4,8],"Batches":[16],"Methods":["p2p","nccl"]}'
+//	curl -s -H 'Accept: application/x-ndjson' localhost:8080/v1/sweep \
+//	  -d '{"Base":{"Model":"lenet","Batch":16},"GPUs":[1,2,4,8]}'     # one record per cell + summary
+//	curl -s localhost:8080/v1/optimize -d '{"base":{"Model":"resnet","Batch":32},"objective":"min_epoch_time"}'
 //	curl -s localhost:8080/v1/validate -d '{"Model":"resnet","GPUs":16,"Batch":32}'
 //	curl -s localhost:8080/v1/cluster/simulate -d '{"nodes":[{"count":4}],"mix":{"jobs":500},"policy":"frag-aware"}'
 //	curl -s localhost:8080/metrics
+//
+// A sweep requested with Accept: application/x-ndjson streams one JSON
+// record per grid cell in grid order (bounded memory — a 10k-cell sweep
+// never buffers the grid) and ends with a {"summary": ...} record;
+// /v1/optimize searches GPUs x batch x method x faults around a base
+// workload and returns the Pareto frontier of the objective
+// (min_epoch_time or max_throughput_per_gpu, optional memoryCapGiB)
+// against GPU cost. Every error, on every endpoint, is one JSON
+// envelope {"error": {"code", "message", "retryable"}} with a stable
+// machine-readable code.
 //
 // /v1/cluster/simulate runs a fleet of simulated DGX-1 nodes (each
 // optionally fault-degraded) against a trace of job arrivals in virtual

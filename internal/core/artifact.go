@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dnn"
 	"repro/internal/models"
@@ -117,9 +118,22 @@ func (e *compiledEntry) compile(w Workload, key string) {
 	close(e.done)
 }
 
+// compiles counts compile phases actually executed (buildWindow calls)
+// across the process's lifetime. With the artifact cache doing its job,
+// a sweep's compile count equals its number of distinct compile-phase
+// plans — the invariant the mega-sweep tests pin and /metrics exposes as
+// dgxsimd_compile_windows_total.
+var compiles atomic.Uint64
+
+// CompileCount reports how many compile phases (train.Window builds)
+// this process has run. It only ever grows; callers diff it around a
+// workload batch to count the compiles the batch actually caused.
+func CompileCount() uint64 { return compiles.Load() }
+
 // buildWindow runs the compile phase: lower the config, build the
 // trainer, and simulate the window with the cancellation probe installed.
 func buildWindow(w Workload, check func() error) (*train.Window, error) {
+	compiles.Add(1)
 	cfg, err := trainConfig(w)
 	if err != nil {
 		return nil, err
@@ -245,16 +259,28 @@ func windowIters(w Workload) int64 {
 	return iters
 }
 
-// artifactKey identifies the compiled window a normalized workload maps
-// to: the fingerprint restricted to plan-relevant fields — Images and
-// WeakScaling only scale the extrapolation, so they are zeroed — plus the
-// effective simulated-iteration count. Two workloads with the same key
-// share one simulated window and differ only in finalization arithmetic.
-func artifactKey(w Workload) string {
+// CompileFingerprint is the compile-phase half of the artifact key: the
+// Fingerprint restricted to fields that shape the compiled train.Window.
+// Extrapolation-only fields — Images and WeakScaling, which only scale
+// the epoch arithmetic after the window exists — are canonicalized away,
+// so every cell of a sweep that varies nothing but dataset size shares
+// one compile fingerprint. It is exported so sweep planners (the service
+// optimizer, mega-sweep tests) can predict how many compiles a grid
+// costs without running it.
+func (w Workload) CompileFingerprint() string {
 	c := w
 	c.Images = 0
 	c.WeakScaling = false
-	return fmt.Sprintf("%s/n%d", c.Fingerprint(), windowIters(w))
+	return c.Fingerprint()
+}
+
+// artifactKey identifies the compiled window a normalized workload maps
+// to: the compile-phase fingerprint plus the effective simulated-
+// iteration count (the one epoch-size dependence the window retains —
+// see windowIters). Two workloads with the same key share one simulated
+// window and differ only in finalization arithmetic.
+func artifactKey(w Workload) string {
+	return fmt.Sprintf("%s/n%d", w.CompileFingerprint(), windowIters(w))
 }
 
 // compiledWindow returns the (possibly cached) compiled window for a

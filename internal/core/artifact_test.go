@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"runtime"
 	"sync"
 	"testing"
@@ -206,6 +207,112 @@ func TestRunManyErrors(t *testing.T) {
 	cancel()
 	if _, err := RunMany(ctx, []Workload{{Model: "lenet", GPUs: 1, Batch: 16}}); err != context.Canceled {
 		t.Fatalf("cancelled RunMany = %v, want context.Canceled", err)
+	}
+}
+
+// TestCompileCountEqualsDistinctPlans is the mega-sweep acceptance
+// invariant: a grid whose cells differ only in extrapolation-phase
+// parameters (dataset size, hence iteration count) compiles exactly one
+// train.Window per distinct compile-phase plan, no matter how many cells
+// ride on it.
+func TestCompileCountEqualsDistinctPlans(t *testing.T) {
+	var grid []Workload
+	// 2 distinct compile plans (lenet, alexnet) x 8 Images variations:
+	// 16 cells, every epoch large enough to simulate the full default
+	// window, so all Images variants share their model's window.
+	for _, model := range []string{"lenet", "alexnet"} {
+		for i := 0; i < 8; i++ {
+			grid = append(grid, Workload{Model: model, GPUs: 2, Batch: 16, Images: int64(8192 * (i + 1))})
+		}
+	}
+	distinct := make(map[string]bool)
+	for _, w := range grid {
+		distinct[w.Normalize().CompileFingerprint()] = true
+	}
+	if len(distinct) != 2 {
+		t.Fatalf("grid has %d distinct compile fingerprints, want 2", len(distinct))
+	}
+
+	ResetCaches()
+	before := CompileCount()
+	if _, err := RunMany(context.Background(), grid); err != nil {
+		t.Fatal(err)
+	}
+	if got := CompileCount() - before; got != uint64(len(distinct)) {
+		t.Errorf("grid of %d cells compiled %d windows, want %d (one per distinct plan)",
+			len(grid), got, len(distinct))
+	}
+}
+
+// TestCompileFingerprintSplit pins which fields are extrapolation-only:
+// Images and WeakScaling must not perturb the compile fingerprint, while
+// compile-phase fields (batch, GPUs, method, faults...) must.
+func TestCompileFingerprintSplit(t *testing.T) {
+	base := Workload{Model: "lenet", GPUs: 2, Batch: 16, Images: 8192}
+	key := base.CompileFingerprint()
+
+	images := base
+	images.Images = 256 * 1024
+	if images.CompileFingerprint() != key {
+		t.Error("Images perturbed the compile fingerprint; it only scales extrapolation")
+	}
+	weak := base
+	weak.WeakScaling = true
+	if weak.CompileFingerprint() != key {
+		t.Error("WeakScaling perturbed the compile fingerprint; it only scales extrapolation")
+	}
+	for name, mutate := range map[string]func(*Workload){
+		"Batch":  func(w *Workload) { w.Batch = 32 },
+		"GPUs":   func(w *Workload) { w.GPUs = 4 },
+		"Method": func(w *Workload) { w.Method = P2P },
+	} {
+		w := base
+		mutate(&w)
+		if w.CompileFingerprint() == key {
+			t.Errorf("%s did not perturb the compile fingerprint; it shapes the compiled window", name)
+		}
+	}
+}
+
+// TestRunEachStreams pins the streaming batch entry point: reports
+// arrive in input order, match Run byte for byte, and a callback error
+// stops the run where it stands.
+func TestRunEachStreams(t *testing.T) {
+	ws := []Workload{
+		{Model: "lenet", GPUs: 2, Batch: 16, Images: 8192},
+		{Model: "alexnet", GPUs: 2, Batch: 16, Images: 8192},
+		{Model: "lenet", GPUs: 2, Batch: 16, Images: 8192},
+	}
+	var seen []int
+	err := RunEach(context.Background(), ws, func(i int, r *Report) error {
+		seen = append(seen, i)
+		single, err := Run(ws[i])
+		if err != nil {
+			return err
+		}
+		if got, want := string(reportJSON(t, r)), string(reportJSON(t, single)); got != want {
+			t.Errorf("workload %d: RunEach report differs from Run", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 0 || seen[1] != 1 || seen[2] != 2 {
+		t.Fatalf("RunEach delivered %v, want [0 1 2]", seen)
+	}
+
+	sentinel := errors.New("stop here")
+	calls := 0
+	err = RunEach(context.Background(), ws, func(int, *Report) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("RunEach error = %v, want the callback's sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after returning an error, want 1", calls)
 	}
 }
 

@@ -115,6 +115,9 @@ func All() []Experiment {
 		{ID: "fleet", Title: "Extension: multi-tenant fleet scheduling over simulated DGX-1s",
 			Desc: "placement policy x fleet size x fault severity over a PAI-style job trace; JCT tails and queue discipline",
 			Run:  Fleet},
+		{ID: "optimize", Title: "Extension: Pareto frontier of configuration vs GPU cost",
+			Desc: "resnet searched over GPUs x batch x method: the non-dominated epoch-time and throughput/GPU frontiers under the 16 GiB cap",
+			Run:  Optimize},
 	}
 }
 

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/report"
+)
+
+// optimizeSearchSpace is the frontier sweep: every DGX-1 GPU count, the
+// paper's batch sizes, both update methods — the same region a
+// /v1/optimize request with an empty space plus the paper batches
+// searches.
+func optimizeSearchSpace() optimize.Space {
+	return optimize.Space{
+		GPUs:    GPUCounts,
+		Batches: Batches,
+		Methods: []core.Method{core.P2P, core.NCCL},
+	}
+}
+
+// optimizeMemoryCapGiB is the V100's 16 GB device capacity: a frontier
+// point that does not fit the card is not a configuration at all.
+const optimizeMemoryCapGiB = 16.0
+
+// Optimize searches ResNet-50's configuration space for the Pareto
+// frontier of epoch time (and, as a second view, throughput per GPU)
+// against GPU cost — the "what should I actually run?" reading of the
+// paper's sweeps. Where Figure 3 shows every configuration, this shows
+// only the non-dominated ones: each frontier row is the best epoch time
+// money (GPUs) can buy at that budget, with the exact workload and
+// measured metrics as provenance. The same search is served online by
+// POST /v1/optimize.
+func Optimize(opt Options) ([]*report.Table, error) {
+	opt.normalize()
+	base := core.Workload{Model: "resnet", Batch: 32, Images: opt.Images}
+	space := optimizeSearchSpace()
+	cands := optimize.Candidates(base, space)
+	reports, err := parMap(opt, len(cands), func(i int) (*core.Report, error) {
+		return core.Run(cands[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*report.Table
+	for _, obj := range []optimize.Objective{optimize.MinEpochTime, optimize.MaxThroughputPerGPU} {
+		res, err := optimize.Frontier(cands, reports, obj, optimizeMemoryCapGiB)
+		if err != nil {
+			return nil, err
+		}
+		t := report.NewTable(
+			fmt.Sprintf("Pareto frontier: resnet, objective %s (%d candidates, %d over the %g GiB cap)",
+				obj, res.Candidates, res.MemoryExcluded, optimizeMemoryCapGiB),
+			"GPUs", "Batch", "Method", "Epoch", "Images/s", "Img/s/GPU", "Mem (GiB)")
+		for _, p := range res.Frontier {
+			t.AddRow(
+				fmt.Sprintf("%d", p.Workload.GPUs),
+				fmt.Sprintf("%d", p.Workload.Batch),
+				string(p.Workload.Method),
+				fmtDur(time.Duration(p.EpochTimeNs)),
+				report.F(p.ImagesPerSecond, 1),
+				report.F(p.ThroughputPerGPU, 1),
+				report.F(p.MemoryGiB, 2))
+		}
+		t.AddNote("each row strictly improves the objective over every cheaper row; dominated configurations (more GPUs, no gain) are dropped")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

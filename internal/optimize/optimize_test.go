@@ -1,0 +1,195 @@
+package optimize
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/memmodel"
+	"repro/internal/units"
+)
+
+func report(w core.Workload, epoch time.Duration, throughput float64, memGiB float64) *core.Report {
+	return &core.Report{
+		Workload:   w,
+		EpochTime:  epoch,
+		Throughput: throughput,
+		Memory:     memmodel.Estimate{RootExtra: units.Bytes(memGiB * float64(units.GB))},
+	}
+}
+
+func wl(gpus int) core.Workload {
+	return core.Workload{Model: "resnet", GPUs: gpus, Batch: 32, Method: core.NCCL}
+}
+
+func TestParseObjective(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Objective
+		ok   bool
+	}{
+		{"", MinEpochTime, true},
+		{"min_epoch_time", MinEpochTime, true},
+		{"max_throughput_per_gpu", MaxThroughputPerGPU, true},
+		{"fastest", "", false},
+	} {
+		got, err := ParseObjective(tc.in)
+		if tc.ok != (err == nil) {
+			t.Fatalf("ParseObjective(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if tc.ok && got != tc.want {
+			t.Fatalf("ParseObjective(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCandidatesDefaults(t *testing.T) {
+	base := core.Workload{Model: "resnet", Batch: 32}
+	cands := Candidates(base, Space{})
+	if len(cands) != 8*2 {
+		t.Fatalf("default space: %d candidates, want %d", len(cands), 8*2)
+	}
+	// Deterministic nesting: gpus outermost, methods inner.
+	if cands[0].GPUs != 1 || cands[0].Method != core.P2P {
+		t.Fatalf("cands[0] = gpus %d method %q, want 1/p2p", cands[0].GPUs, cands[0].Method)
+	}
+	if cands[1].GPUs != 1 || cands[1].Method != core.NCCL {
+		t.Fatalf("cands[1] = gpus %d method %q, want 1/nccl", cands[1].GPUs, cands[1].Method)
+	}
+	if last := cands[len(cands)-1]; last.GPUs != 8 || last.Method != core.NCCL {
+		t.Fatalf("last candidate = gpus %d method %q, want 8/nccl", last.GPUs, last.Method)
+	}
+	for _, c := range cands {
+		if c.Model != "resnet" || c.Batch != 32 {
+			t.Fatalf("candidate lost base fields: %+v", c)
+		}
+	}
+}
+
+func TestCandidatesExplicitAxes(t *testing.T) {
+	base := core.Workload{Model: "alexnet", Batch: 64}
+	plan := &faults.Plan{PCIeContention: 0.5}
+	cands := Candidates(base, Space{
+		GPUs:    []int{2, 4},
+		Batches: []int{32, 64},
+		Methods: []core.Method{core.NCCL},
+		Faults:  []*faults.Plan{nil, plan},
+	})
+	if len(cands) != 2*2*1*2 {
+		t.Fatalf("%d candidates, want 8", len(cands))
+	}
+	// Innermost axis is faults: consecutive candidates differ only there.
+	if cands[0].Faults != nil || cands[1].Faults != plan {
+		t.Fatalf("faults axis not innermost: %+v %+v", cands[0].Faults, cands[1].Faults)
+	}
+	if cands[0].Batch != 32 || cands[2].Batch != 64 {
+		t.Fatalf("batch axis order wrong: %d, %d", cands[0].Batch, cands[2].Batch)
+	}
+}
+
+func TestFrontierMinEpochTime(t *testing.T) {
+	ws := []core.Workload{wl(1), wl(2), wl(4), wl(8)}
+	reps := []*core.Report{
+		report(ws[0], 100*time.Second, 10, 4),
+		report(ws[1], 60*time.Second, 17, 4),
+		report(ws[2], 60*time.Second, 17, 4), // no improvement over 2 GPUs: dominated
+		report(ws[3], 40*time.Second, 25, 4),
+	}
+	res, err := Frontier(ws, reps, MinEpochTime, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 4 || res.MemoryExcluded != 0 {
+		t.Fatalf("accounting: %+v", res)
+	}
+	gpus := frontierGPUs(res)
+	if len(gpus) != 3 || gpus[0] != 1 || gpus[1] != 2 || gpus[2] != 8 {
+		t.Fatalf("frontier GPUs = %v, want [1 2 8]", gpus)
+	}
+	// Each point strictly improves the objective over the previous.
+	for i := 1; i < len(res.Frontier); i++ {
+		if res.Frontier[i].Objective >= res.Frontier[i-1].Objective {
+			t.Fatalf("frontier not strictly improving: %v then %v",
+				res.Frontier[i-1].Objective, res.Frontier[i].Objective)
+		}
+	}
+	if res.Frontier[0].Fingerprint == "" {
+		t.Fatal("frontier point missing fingerprint provenance")
+	}
+}
+
+func TestFrontierMaxThroughputPerGPU(t *testing.T) {
+	ws := []core.Workload{wl(1), wl(2), wl(4)}
+	reps := []*core.Report{
+		report(ws[0], 100*time.Second, 10, 4), // 10 img/s/GPU
+		report(ws[1], 55*time.Second, 18, 4),  // 9 img/s/GPU: dominated
+		report(ws[2], 30*time.Second, 44, 4),  // 11 img/s/GPU: improves
+	}
+	res, err := Frontier(ws, reps, MaxThroughputPerGPU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpus := frontierGPUs(res)
+	if len(gpus) != 2 || gpus[0] != 1 || gpus[1] != 4 {
+		t.Fatalf("frontier GPUs = %v, want [1 4]", gpus)
+	}
+	if v := res.Frontier[1].ThroughputPerGPU; v != 11 {
+		t.Fatalf("throughput/GPU = %v, want 11", v)
+	}
+}
+
+func TestFrontierMemoryCap(t *testing.T) {
+	ws := []core.Workload{wl(1), wl(2)}
+	reps := []*core.Report{
+		report(ws[0], 100*time.Second, 10, 12), // over the cap
+		report(ws[1], 60*time.Second, 17, 4),
+	}
+	res, err := Frontier(ws, reps, MinEpochTime, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemoryExcluded != 1 {
+		t.Fatalf("memoryExcluded = %d, want 1", res.MemoryExcluded)
+	}
+	if gpus := frontierGPUs(res); len(gpus) != 1 || gpus[0] != 2 {
+		t.Fatalf("frontier GPUs = %v, want [2]", gpus)
+	}
+	if got := res.Frontier[0].MemoryGiB; got != 4 {
+		t.Fatalf("MemoryGiB = %v, want 4", got)
+	}
+}
+
+func TestFrontierTieBreaksByCandidateOrder(t *testing.T) {
+	a, b := wl(2), wl(2)
+	a.Method, b.Method = core.P2P, core.NCCL
+	ws := []core.Workload{a, b}
+	reps := []*core.Report{
+		report(a, 60*time.Second, 17, 4),
+		report(b, 60*time.Second, 17, 4),
+	}
+	res, err := Frontier(ws, reps, MinEpochTime, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frontier) != 1 || res.Frontier[0].Workload.Method != core.P2P {
+		t.Fatalf("tie should keep the earliest candidate: %+v", res.Frontier)
+	}
+}
+
+func TestFrontierInputMismatch(t *testing.T) {
+	if _, err := Frontier([]core.Workload{wl(1)}, nil, MinEpochTime, 0); err == nil {
+		t.Fatal("mismatched inputs should error")
+	}
+	if _, err := Frontier([]core.Workload{wl(1)}, []*core.Report{nil}, MinEpochTime, 0); err == nil {
+		t.Fatal("nil report should error")
+	}
+}
+
+func frontierGPUs(res Result) []int {
+	out := make([]int, len(res.Frontier))
+	for i, p := range res.Frontier {
+		out[i] = p.Workload.GPUs
+	}
+	return out
+}

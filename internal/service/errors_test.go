@@ -1,0 +1,198 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// decodeEnvelope parses a response body as the shared error envelope.
+func decodeEnvelope(t *testing.T, body []byte) ErrorDetail {
+	t.Helper()
+	var e ErrorEnvelope
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("body %q is not an error envelope: %v", body, err)
+	}
+	if e.Error.Code == "" {
+		t.Fatalf("envelope %q has no error code", body)
+	}
+	return e.Error
+}
+
+// TestClassifyTaxonomy pins the whole error taxonomy: every class of
+// failure maps to a stable (status, code, retryable) triple, including
+// when the error arrives wrapped by a grid cell's context.
+func TestClassifyTaxonomy(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		status    int
+		code      string
+		retryable bool
+	}{
+		{"queue full", ErrQueueFull, http.StatusTooManyRequests, CodeQueueFull, true},
+		{"queue full wrapped", fmt.Errorf("task 3: %w", ErrQueueFull), http.StatusTooManyRequests, CodeQueueFull, true},
+		{"deadline while queued", admissionError{context.DeadlineExceeded}, http.StatusServiceUnavailable, CodeDeadlineQueued, true},
+		{"deadline mid-work", context.DeadlineExceeded, http.StatusGatewayTimeout, CodeDeadline, false},
+		{"deadline wrapped", fmt.Errorf("task 0: %w", context.DeadlineExceeded), http.StatusGatewayTimeout, CodeDeadline, false},
+		{"client gone", context.Canceled, 499, CodeClientGone, false},
+		{"bad request", badRequestError{errors.New("no such model")}, http.StatusBadRequest, CodeBadRequest, false},
+		{"schema version", schemaVersionError{errors.New("speaks 2")}, http.StatusBadRequest, CodeSchemaVersion, false},
+		{"body too large", &http.MaxBytesError{Limit: maxBodyBytes}, http.StatusRequestEntityTooLarge, CodeBodyTooLarge, false},
+		{"internal", errors.New("boom"), http.StatusInternalServerError, CodeInternal, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, d := classify(tc.err)
+			if status != tc.status {
+				t.Errorf("status = %d, want %d", status, tc.status)
+			}
+			if d.Code != tc.code {
+				t.Errorf("code = %q, want %q", d.Code, tc.code)
+			}
+			if d.Retryable != tc.retryable {
+				t.Errorf("retryable = %v, want %v", d.Retryable, tc.retryable)
+			}
+			if d.Message == "" {
+				t.Error("message must not be empty")
+			}
+		})
+	}
+}
+
+// Shed statuses carry Retry-After; everything else must not.
+func TestWriteEnvelopeRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		want   bool
+	}{
+		{http.StatusTooManyRequests, true},
+		{http.StatusServiceUnavailable, true},
+		{http.StatusBadRequest, false},
+		{http.StatusGatewayTimeout, false},
+		{http.StatusInternalServerError, false},
+	} {
+		rec := httptest.NewRecorder()
+		writeEnvelope(rec, tc.status, ErrorDetail{Code: CodeInternal, Message: "x"})
+		if got := rec.Header().Get("Retry-After") != ""; got != tc.want {
+			t.Errorf("status %d: Retry-After present = %v, want %v", tc.status, got, tc.want)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("status %d: Content-Type = %q", tc.status, ct)
+		}
+		decodeEnvelope(t, rec.Body.Bytes())
+	}
+}
+
+// TestEnvelopeOnEveryStatusPath drives the real server through each
+// reachable error status and asserts the body is always the envelope —
+// no bare-string error bodies anywhere.
+func TestEnvelopeOnEveryStatusPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	do := func(t *testing.T, method, path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.DefaultClient.Do(mustReq(t, method, ts.URL+path, body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp, readAll(t, resp)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+		code   string
+	}{
+		{"malformed json", "POST", "/v1/simulate", "{", http.StatusBadRequest, CodeBadRequest},
+		{"unknown field", "POST", "/v1/simulate", `{"Bogus":1}`, http.StatusBadRequest, CodeBadRequest},
+		{"invalid workload", "POST", "/v1/simulate", `{"Model":"vgg","GPUs":1,"Batch":16}`, http.StatusBadRequest, CodeBadRequest},
+		{"foreign schema version", "POST", "/v1/simulate", `{"schemaVersion":99,"Model":"lenet","GPUs":1,"Batch":16}`, http.StatusBadRequest, CodeSchemaVersion},
+		{"sweep schema version", "POST", "/v1/sweep", `{"schemaVersion":99,"Base":{"Model":"lenet","GPUs":1,"Batch":16}}`, http.StatusBadRequest, CodeSchemaVersion},
+		{"optimize bad objective", "POST", "/v1/optimize", `{"base":{"Model":"lenet","GPUs":1,"Batch":16},"objective":"fastest"}`, http.StatusBadRequest, CodeBadRequest},
+		{"wrong method", "GET", "/v1/simulate", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"unknown v1 path", "GET", "/v1/bogus", "", http.StatusNotFound, CodeNotFound},
+		{"missing trace", "GET", "/v1/trace/deadbeef00000000", "", http.StatusNotFound, CodeNotFound},
+		{"oversized body", "POST", "/v1/simulate", `{"Model":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`, http.StatusRequestEntityTooLarge, CodeBodyTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := do(t, tc.method, tc.path, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, tc.status, body)
+			}
+			d := decodeEnvelope(t, body)
+			if d.Code != tc.code {
+				t.Errorf("code = %q, want %q (%s)", d.Code, tc.code, body)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+		})
+	}
+}
+
+// A shed response must carry the envelope (code queue_full, retryable)
+// alongside its Retry-After header.
+func TestShedCarriesEnvelope(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	defer close(release)
+	// Occupy the single worker, then the single queue slot (retrying
+	// until the worker has dequeued the blocker and freed the slot).
+	if err := svc.pool.TrySubmit(func() { <-release }); err != nil {
+		t.Fatalf("blocker not admitted: %v", err)
+	}
+	queued := false
+	for deadline := time.Now().Add(5 * time.Second); !queued && time.Now().Before(deadline); {
+		if err := svc.pool.TrySubmit(func() { <-release }); err == nil {
+			queued = true
+		}
+	}
+	if !queued {
+		t.Fatal("failed to occupy the queue slot")
+	}
+	resp, body := post(t, ts.URL+"/v1/simulate",
+		core.Workload{Model: "lenet", GPUs: 1, Batch: 16, Images: 4096})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	d := decodeEnvelope(t, body)
+	if d.Code != CodeQueueFull || !d.Retryable {
+		t.Errorf("envelope = %+v, want queue_full/retryable", d)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+}
+
+func mustReq(t *testing.T, method, url, body string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestIndexAdvertisesEveryRoutedEndpoint holds GET /v1/ and the mux
+// together: the index must list exactly the endpoint table (which
+// NewServer also registers routes from), and every advertised
+// path/method pair must actually be routed — a request with a listed
+// method never sees the mux's 404 or the service's 405.
+func TestIndexAdvertisesEveryRoutedEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Get(ts.URL + "/v1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/ = %d, want 200", resp.StatusCode)
+	}
+	var idx IndexResponse
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		t.Fatal(err)
+	}
+	if idx.SchemaVersion != SchemaVersion {
+		t.Errorf("schemaVersion = %d, want %d", idx.SchemaVersion, SchemaVersion)
+	}
+	if len(idx.Endpoints) != len(apiEndpoints) {
+		t.Fatalf("index lists %d endpoints, table has %d", len(idx.Endpoints), len(apiEndpoints))
+	}
+	for i, e := range apiEndpoints {
+		got := idx.Endpoints[i]
+		if got.Path != e.path {
+			t.Errorf("endpoint %d: path %q, want %q", i, got.Path, e.path)
+		}
+		if strings.Join(got.Methods, ",") != strings.Join(e.methods, ",") {
+			t.Errorf("%s: methods %v, want %v", e.path, got.Methods, e.methods)
+		}
+		if len(got.ContentTypes) == 0 {
+			t.Errorf("%s advertises no content types", e.path)
+		}
+	}
+
+	// Every advertised path answers its advertised methods: never the
+	// mux's 404 page, never a 405. (Handlers may still 400/404 the
+	// particular request — an empty POST body, a missing trace id — which
+	// is routing working, not drift.)
+	for _, e := range idx.Endpoints {
+		path := strings.ReplaceAll(e.Path, "{id}", "deadbeef00000000")
+		for _, method := range e.Methods {
+			resp, err := http.DefaultClient.Do(mustReq(t, method, ts.URL+path, "{}"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: 405 for an advertised method", method, path)
+			}
+			// The stdlib mux 404s unrouted paths with a text/plain body;
+			// our own not_found envelope is JSON. Any JSON status is a
+			// routed handler answering.
+			if resp.StatusCode == http.StatusNotFound &&
+				!strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+				t.Errorf("%s %s: fell through to the mux 404", method, path)
+			}
+		}
+	}
+}
+
+// Unknown /v1/* paths answer with the not_found envelope, not the
+// stdlib's bare text 404.
+func TestUnknownV1PathGetsEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	d := decodeEnvelope(t, readAll(t, resp))
+	if d.Code != CodeNotFound {
+		t.Errorf("code = %q, want %q", d.Code, CodeNotFound)
+	}
+	if !strings.Contains(d.Message, "/v1/") {
+		t.Errorf("message %q should point the client at GET /v1/", d.Message)
+	}
+}
+
+// The index itself rejects non-GET with 405 + Allow.
+func TestIndexMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.DefaultClient.Do(mustReq(t, http.MethodPost, ts.URL+"/v1/", "{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+		t.Errorf("Allow = %q, want GET", allow)
+	}
+}
+
+// metricsLabel trims only subtree registrations.
+func TestMetricsLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"/v1/trace/", "/v1/trace"},
+		{"/v1/sweep", "/v1/sweep"},
+		{"/v1/", "/v1"},
+		{"/healthz", "/healthz"},
+	} {
+		if got := metricsLabel(tc.in); got != tc.want {
+			t.Errorf("metricsLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
 // latencyWindow bounds the per-endpoint latency reservoir: percentiles
@@ -36,6 +38,12 @@ type metrics struct {
 	// obtained from another request's in-flight run instead of its own.
 	shed      uint64
 	coalesced uint64
+
+	// Streaming-sweep counters: streams counts NDJSON sweep responses
+	// (completed or not), streamedCells the cell records actually flushed
+	// across all of them.
+	streams       uint64
+	streamedCells uint64
 
 	// Cluster-simulation counters: clusterJobs accumulates jobs scheduled
 	// across all fleet simulations; the clusterSim histogram observes
@@ -76,6 +84,15 @@ func (m *metrics) addCoalesced() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.coalesced++
+}
+
+// addStream records one finished (or aborted) NDJSON sweep stream and
+// how many cell records it flushed.
+func (m *metrics) addStream(cells int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.streams++
+	m.streamedCells += uint64(cells)
 }
 
 type endpointMetrics struct {
@@ -210,6 +227,13 @@ func (m *metrics) render(cs CacheStats, ps PoolStats) string {
 
 	fmt.Fprintf(&b, "dgxsimd_shed_total %d\n", m.shed)
 	fmt.Fprintf(&b, "dgxsimd_coalesced_total %d\n", m.coalesced)
+
+	fmt.Fprintf(&b, "dgxsimd_sweep_streams_total %d\n", m.streams)
+	fmt.Fprintf(&b, "dgxsimd_sweep_streamed_cells_total %d\n", m.streamedCells)
+	// How many train.Windows this process actually compiled — the compile
+	// economy of the split artifact key (cells differing only in
+	// extrapolation parameters share one compiled window).
+	fmt.Fprintf(&b, "dgxsimd_compile_windows_total %d\n", core.CompileCount())
 
 	fmt.Fprintf(&b, "dgxsimd_cluster_jobs_total %d\n", m.clusterJobs)
 	for i, le := range latencyBuckets {

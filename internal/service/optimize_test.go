@@ -1,0 +1,111 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+)
+
+func TestOptimizeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := OptimizeRequest{
+		Base:  core.Workload{Model: "lenet", Batch: 16, Images: 4096},
+		Space: optimize.Space{GPUs: []int{1, 2, 4, 8}, Methods: []core.Method{core.NCCL}},
+	}
+	resp, body := post(t, ts.URL+"/v1/optimize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out OptimizeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SchemaVersion != SchemaVersion {
+		t.Errorf("schemaVersion = %d", out.SchemaVersion)
+	}
+	if out.Objective != optimize.MinEpochTime {
+		t.Errorf("objective = %q, want default min_epoch_time", out.Objective)
+	}
+	if out.Candidates != 4 {
+		t.Errorf("candidates = %d, want 4", out.Candidates)
+	}
+	if len(out.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	prev := 0
+	var lastObj float64
+	for i, p := range out.Frontier {
+		if p.Workload.GPUs <= prev {
+			t.Errorf("frontier not GPU-ascending at %d: %d after %d", i, p.Workload.GPUs, prev)
+		}
+		if i > 0 && p.Objective >= lastObj {
+			t.Errorf("frontier point %d does not improve the objective", i)
+		}
+		if p.Fingerprint == "" || p.EpochTimeNs <= 0 || p.MemoryGiB <= 0 {
+			t.Errorf("point %d missing provenance: %+v", i, p)
+		}
+		prev, lastObj = p.Workload.GPUs, p.Objective
+	}
+}
+
+// The optimizer must be deterministic: the same request returns a
+// byte-identical body, cold cache or warm.
+func TestOptimizeDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := OptimizeRequest{
+		Base:      core.Workload{Model: "lenet", Batch: 16, Images: 4096},
+		Objective: string(optimize.MaxThroughputPerGPU),
+		Space:     optimize.Space{GPUs: []int{1, 2}, Methods: []core.Method{core.P2P, core.NCCL}},
+	}
+	resp1, body1 := post(t, ts.URL+"/v1/optimize", req)
+	resp2, body2 := post(t, ts.URL+"/v1/optimize", req)
+	if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("statuses %d/%d: %s", resp1.StatusCode, resp2.StatusCode, body1)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("optimize not deterministic:\n%s\n%s", body1, body2)
+	}
+	// The warm run was served from the result cache.
+	if hits := resp2.Header.Get("X-Cache-Hits"); hits != "4" {
+		t.Errorf("warm X-Cache-Hits = %q, want 4", hits)
+	}
+}
+
+func TestOptimizeMemoryCapExcludes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := OptimizeRequest{
+		Base:         core.Workload{Model: "lenet", Batch: 16, Images: 4096},
+		MemoryCapGiB: 0.000001,
+		Space:        optimize.Space{GPUs: []int{1}, Methods: []core.Method{core.NCCL}},
+	}
+	resp, body := post(t, ts.URL+"/v1/optimize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out OptimizeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.MemoryExcluded != 1 || len(out.Frontier) != 0 {
+		t.Errorf("memoryExcluded = %d, frontier = %d; want 1/0", out.MemoryExcluded, len(out.Frontier))
+	}
+}
+
+func TestOptimizeRejectsBadCandidate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := OptimizeRequest{
+		Base:  core.Workload{Model: "vgg", Batch: 16},
+		Space: optimize.Space{GPUs: []int{1}},
+	}
+	resp, body := post(t, ts.URL+"/v1/optimize", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400: %s", resp.StatusCode, body)
+	}
+	if d := decodeEnvelope(t, body); d.Code != CodeBadRequest {
+		t.Errorf("code = %q", d.Code)
+	}
+}

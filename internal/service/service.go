@@ -7,11 +7,20 @@
 //
 // Endpoints:
 //
+//	GET  /v1/          machine-readable API index: every endpoint, its
+//	                   methods, and the content types it produces
 //	POST /v1/simulate  one core.Workload -> core.Report
 //	POST /v1/compare   one workload under p2p and nccl -> ordered reports
 //	                   (p2p first, then nccl)
-//	POST /v1/sweep     a models x gpus x batches x methods grid, fanned
-//	                   out on the pool -> reports in grid order
+//	POST /v1/sweep     a models x gpus x batches x methods x images grid,
+//	                   fanned out on the pool -> reports in grid order.
+//	                   Accept: application/x-ndjson streams one record
+//	                   per cell (grid order, bounded memory) plus a
+//	                   trailing summary instead of one buffered body
+//	POST /v1/optimize  search GPUs x batch x method x faults for the
+//	                   Pareto frontier of an objective (min epoch time,
+//	                   max throughput/GPU; optional memory cap) vs GPU
+//	                   cost, with per-point provenance
 //	POST /v1/validate  check a workload without simulating it -> validity,
 //	                   fingerprint, and the normalized workload
 //	POST /v1/cluster/simulate
@@ -26,6 +35,12 @@
 //	GET  /metrics      plain-text counters: requests, latency percentiles
 //	                   and histograms, in-flight gauges, cache
 //	                   hits/misses/evictions, pool depth/queue-wait/panics
+//
+// Every failure, on every endpoint, is one JSON envelope —
+// {"error": {"code", "message", "retryable"}} — with a stable
+// machine-readable code (queue_full, deadline_queued, deadline,
+// client_gone, bad_request, body_too_large, schema_version,
+// method_not_allowed, not_found, internal); see errors.go.
 //
 // Every request is assigned (or propagates) an X-Request-ID and records a
 // span breakdown — decode, cache-lookup, queue-wait, simulate, encode —
@@ -117,15 +132,15 @@ func NewServer(cfg Config) *Server {
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
-	s.mux.HandleFunc("/v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
-	s.mux.HandleFunc("/v1/compare", s.instrument("/v1/compare", s.handleCompare))
-	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
-	s.mux.HandleFunc("/v1/validate", s.instrument("/v1/validate", s.handleValidate))
-	s.mux.HandleFunc("/v1/cluster/simulate", s.instrument("/v1/cluster/simulate", s.handleClusterSimulate))
-	s.mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
-	s.mux.HandleFunc("/v1/trace/", s.instrument("/v1/trace", s.handleTrace))
-	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
-	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	// The mux is registered from the apiEndpoints table (index.go) — the
+	// same table GET /v1/ advertises, so routing and discovery cannot
+	// drift apart.
+	for _, e := range apiEndpoints {
+		e := e
+		s.mux.HandleFunc(e.pattern, s.instrument(metricsLabel(e.pattern), func(w http.ResponseWriter, r *http.Request) {
+			e.handler(s, w, r)
+		}))
+	}
 	return s
 }
 
@@ -224,18 +239,6 @@ func disposition(shed bool, cacheHdr string) string {
 	return ""
 }
 
-// methodNotAllowed writes the 405 response HTTP semantics require for a
-// wrong-method request: the Allow header naming what the resource
-// accepts, plus the JSON error body every endpoint shares. (An earlier
-// version returned 400 "use POST", which blamed the client's syntax
-// rather than the method and omitted Allow.)
-func methodNotAllowed(w http.ResponseWriter, allow string) {
-	w.Header().Set("Allow", allow)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusMethodNotAllowed)
-	json.NewEncoder(w).Encode(map[string]string{"error": "method not allowed; use " + allow})
-}
-
 // maxBodyBytes bounds every JSON request body. Workload and sweep
 // descriptions are a few hundred bytes; 1 MiB leaves generous headroom
 // while keeping a hostile client from streaming an unbounded body into
@@ -247,36 +250,6 @@ const maxBodyBytes = 1 << 20
 // is honest; a fixed small value also keeps retry storms spread by the
 // clients' own jitter rather than synchronized by ours.
 const retryAfterSeconds = "1"
-
-// httpError maps an error to a status code and writes the JSON error
-// body every endpoint shares. Overload outcomes are distinguished from
-// request outcomes: a full admission queue is 429 and a deadline that
-// expired while still queueing is 503 (both with Retry-After — the
-// server's condition, try again); a deadline that expired mid-work is
-// 504 and a client that went away is 499 (the request's condition).
-func httpError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	var mbe *http.MaxBytesError
-	switch {
-	case errors.As(err, &mbe):
-		status = http.StatusRequestEntityTooLarge
-	case errors.Is(err, ErrQueueFull):
-		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", retryAfterSeconds)
-	case isAdmission(err) && errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", retryAfterSeconds)
-	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		status = 499 // client closed request (nginx convention)
-	case isBadRequest(err):
-		status = http.StatusBadRequest
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}
 
 // badRequestError marks client mistakes (malformed body, invalid
 // workload) so httpError maps them to 400.
@@ -308,10 +281,12 @@ type workloadRequest struct {
 	core.Workload
 }
 
-// checkSchemaVersion rejects bodies from a different wire format.
+// checkSchemaVersion rejects bodies from a different wire format. The
+// failure carries its own error code (schema_version, not bad_request):
+// it is the one 400 a correct client hits when the wire format moves.
 func checkSchemaVersion(v int) error {
 	if v != 0 && v != SchemaVersion {
-		return badRequestError{fmt.Errorf("unsupported schemaVersion %d (this server speaks %d)", v, SchemaVersion)}
+		return schemaVersionError{fmt.Errorf("unsupported schemaVersion %d (this server speaks %d)", v, SchemaVersion)}
 	}
 	return nil
 }
@@ -808,8 +783,13 @@ type CompareResponse struct {
 
 // SweepRequest describes a configuration grid. Axes left empty inherit
 // the base workload's value; the grid expands in models -> gpus ->
-// batches -> methods nesting order, and results come back in exactly
-// that order regardless of which simulations finish first.
+// batches -> methods -> images nesting order, and results come back in
+// exactly that order regardless of which simulations finish first.
+//
+// The Images axis varies only the extrapolation phase (how many
+// iterations the compiled steady-state window is scaled to), so a grid
+// sweeping Images alone compiles exactly one train.Window per distinct
+// model/gpus/batch/method plan — see internal/core's artifact keying.
 type SweepRequest struct {
 	SchemaVersion int `json:"schemaVersion,omitempty"`
 	// Trace opts every grid cell into simulator-stage tracing (see
@@ -820,37 +800,67 @@ type SweepRequest struct {
 	GPUs    []int
 	Batches []int
 	Methods []core.Method
+	Images  []int64
 }
 
-// Expand materializes the grid as concrete workloads.
-func (sr SweepRequest) Expand() []core.Workload {
-	ms := sr.Models
+// axes returns the effective per-axis values, axes left empty collapsed
+// to the base workload's value.
+func (sr SweepRequest) axes() (ms []string, gs, bs []int, mets []core.Method, imgs []int64) {
+	ms = sr.Models
 	if len(ms) == 0 {
 		ms = []string{sr.Base.Model}
 	}
-	gs := sr.GPUs
+	gs = sr.GPUs
 	if len(gs) == 0 {
 		gs = []int{sr.Base.GPUs}
 	}
-	bs := sr.Batches
+	bs = sr.Batches
 	if len(bs) == 0 {
 		bs = []int{sr.Base.Batch}
 	}
-	mets := sr.Methods
+	mets = sr.Methods
 	if len(mets) == 0 {
 		mets = []core.Method{sr.Base.Method}
 	}
-	out := make([]core.Workload, 0, len(ms)*len(gs)*len(bs)*len(mets))
-	for _, m := range ms {
-		for _, g := range gs {
-			for _, b := range bs {
-				for _, met := range mets {
-					w := sr.Base
-					w.Model, w.GPUs, w.Batch, w.Method = m, g, b, met
-					out = append(out, w)
-				}
-			}
-		}
+	imgs = sr.Images
+	if len(imgs) == 0 {
+		imgs = []int64{sr.Base.Images}
+	}
+	return
+}
+
+// Size is the grid's cell count (the product of the axis lengths).
+func (sr SweepRequest) Size() int {
+	ms, gs, bs, mets, imgs := sr.axes()
+	return len(ms) * len(gs) * len(bs) * len(mets) * len(imgs)
+}
+
+// Cell materializes grid cell i (0 <= i < Size()) without materializing
+// the rest of the grid — the streaming path walks cells one at a time so
+// a 10k-cell sweep never holds 10k workloads. Index arithmetic unwinds
+// the nesting from the innermost axis (images) outward.
+func (sr SweepRequest) Cell(i int) core.Workload {
+	ms, gs, bs, mets, imgs := sr.axes()
+	w := sr.Base
+	w.Images = imgs[i%len(imgs)]
+	i /= len(imgs)
+	w.Method = mets[i%len(mets)]
+	i /= len(mets)
+	w.Batch = bs[i%len(bs)]
+	i /= len(bs)
+	w.GPUs = gs[i%len(gs)]
+	i /= len(gs)
+	w.Model = ms[i%len(ms)]
+	return w
+}
+
+// Expand materializes the whole grid as concrete workloads (the
+// buffered path; streaming uses Cell directly).
+func (sr SweepRequest) Expand() []core.Workload {
+	n := sr.Size()
+	out := make([]core.Workload, n)
+	for i := range out {
+		out[i] = sr.Cell(i)
 	}
 	return out
 }
@@ -859,10 +869,41 @@ func (sr SweepRequest) Expand() []core.Workload {
 // exact bytes /v1/simulate would return for each configuration, so the
 // body is deterministic across repeats; cache metadata travels in the
 // X-Cache-Hits header and /metrics, not the body.
+//
+// The wire body carries a count field for clients, but it is derived
+// from the results slice at marshal time — an earlier version stored
+// both, and nothing stopped them drifting apart.
 type SweepResponse struct {
+	SchemaVersion int               `json:"schemaVersion"`
+	Results       []json.RawMessage `json:"results"`
+
+	// Count mirrors len(Results); populated on decode, derived on encode.
+	Count int `json:"-"`
+}
+
+// sweepWire is the JSON shape of SweepResponse; count is always
+// len(results).
+type sweepWire struct {
 	SchemaVersion int               `json:"schemaVersion"`
 	Count         int               `json:"count"`
 	Results       []json.RawMessage `json:"results"`
+}
+
+func (sr SweepResponse) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sweepWire{
+		SchemaVersion: sr.SchemaVersion,
+		Count:         len(sr.Results),
+		Results:       sr.Results,
+	})
+}
+
+func (sr *SweepResponse) UnmarshalJSON(b []byte) error {
+	var w sweepWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	sr.SchemaVersion, sr.Results, sr.Count = w.SchemaVersion, w.Results, len(w.Results)
+	return nil
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -886,18 +927,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	grid := req.Expand()
-	if len(grid) == 0 {
+	size := req.Size()
+	if size == 0 {
 		httpError(w, badRequestError{fmt.Errorf("empty sweep grid")})
 		return
 	}
-	// Reject the whole grid before simulating any of it.
-	for i, wl := range grid {
-		if err := wl.Validate(); err != nil {
+	// Reject the whole grid before simulating any of it. Cell-at-a-time
+	// keeps this O(1) memory even for grids the buffered path would never
+	// attempt.
+	endValidate := tr.StartSpan("validate")
+	for i := 0; i < size; i++ {
+		if err := req.Cell(i).Validate(); err != nil {
+			endValidate()
 			httpError(w, badRequestError{fmt.Errorf("config %d: %w", i, err)})
 			return
 		}
 	}
+	endValidate()
+	if wantsNDJSON(r) {
+		s.streamSweep(w, r, req, size)
+		return
+	}
+	grid := req.Expand()
 	if req.Trace {
 		for i := range grid {
 			grid[i] = withTracing(grid[i])
@@ -936,7 +987,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	endEncode := tr.StartSpan("encode")
 	defer endEncode()
-	b, err := json.Marshal(SweepResponse{SchemaVersion: SchemaVersion, Count: len(grid), Results: results})
+	b, err := json.Marshal(SweepResponse{SchemaVersion: SchemaVersion, Results: results})
 	if err != nil {
 		httpError(w, err)
 		return

@@ -153,14 +153,15 @@ func TestSimulateRejectsLikeValidate(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", resp.StatusCode)
 	}
-	var e struct {
-		Error string `json:"error"`
-	}
+	var e ErrorEnvelope
 	if err := json.Unmarshal(body, &e); err != nil {
 		t.Fatal(err)
 	}
-	if want := bad.Validate().Error(); e.Error != want {
-		t.Errorf("API error %q differs from core.Validate's %q", e.Error, want)
+	if e.Error.Code != CodeBadRequest {
+		t.Errorf("error code = %q, want %q", e.Error.Code, CodeBadRequest)
+	}
+	if want := bad.Validate().Error(); e.Error.Message != want {
+		t.Errorf("API error %q differs from core.Validate's %q", e.Error.Message, want)
 	}
 }
 

@@ -1,0 +1,309 @@
+// The NDJSON streaming path of /v1/sweep. A client that sends
+// Accept: application/x-ndjson gets one newline-delimited JSON record
+// per grid cell, flushed in grid order as cells complete, followed by a
+// trailing summary record — instead of one buffered JSON blob at the
+// end. Memory stays bounded no matter the grid size: cells are
+// dispatched through a small reorder window (a channel of per-cell
+// slots), so at most windowSize cells are ever in flight or completed-
+// but-unemitted, and a cell's marshaled bytes are released as soon as
+// they are flushed. Combined with the artifact cache's compile-phase
+// keying (cells differing only in extrapolation parameters share one
+// compiled train.Window), this is what makes 10k+-cell what-if grids
+// practical over one request.
+//
+// Each cell record is byte-identical to the corresponding entry of the
+// buffered response's results array (both serialize through
+// marshalReport), so clients can switch modes without reparsing logic.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// streamSpanCells caps how many cells of a streamed sweep record
+// per-cell observability spans. The request trace is retained whole in
+// the bounded trace store, so an unbounded grid must not grow it
+// unboundedly; 64 cells of spans is plenty to diagnose a stream's shape.
+const streamSpanCells = 64
+
+// wantsNDJSON reports whether the request negotiated the streaming mode:
+// any member of the Accept header with the application/x-ndjson media
+// type. Buffered JSON stays the default for every other Accept value
+// (including */*, which existing clients send implicitly).
+func wantsNDJSON(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		for _, member := range strings.Split(accept, ",") {
+			mt, _, _ := strings.Cut(strings.TrimSpace(member), ";")
+			if strings.TrimSpace(mt) == contentNDJSON {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// streamWindowSize is the reorder window: how many cells may be in
+// flight or buffered awaiting in-order emission. Two cells per worker
+// keeps every worker fed while the head-of-line cell is being flushed;
+// the clamp bounds the window's memory on huge machines and keeps it
+// useful on tiny ones.
+func streamWindowSize(workers int) int {
+	w := 2 * workers
+	if w < 4 {
+		w = 4
+	}
+	if w > 64 {
+		w = 64
+	}
+	return w
+}
+
+// streamedCell is one resolved cell ready for emission: its marshaled
+// record bytes and cache disposition, or the error that ended it.
+type streamedCell struct {
+	bytes []byte
+	disp  string
+	err   error
+}
+
+// SweepSummaryBody is the payload of the stream's trailing summary
+// record: how many cells were emitted, how many came from the result
+// cache, and the stream's wall time. It replaces the buffered response's
+// X-Cache-Hits/X-Sim-Duration headers, which a streaming response cannot
+// carry (headers are committed before the first cell).
+type SweepSummaryBody struct {
+	Count     int   `json:"count"`
+	CacheHits int   `json:"cacheHits"`
+	WallNs    int64 `json:"wallNs"`
+}
+
+// SweepSummary is the trailing NDJSON record. The "summary" key
+// distinguishes it from cell records (which carry "workload"); an
+// "error" key (ErrorEnvelope) marks a stream that failed mid-flight.
+type SweepSummary struct {
+	SchemaVersion int              `json:"schemaVersion"`
+	Summary       SweepSummaryBody `json:"summary"`
+}
+
+// streamAdmitter serializes the request's admission decision: the first
+// cell that actually needs a pool slot decides via TrySubmit (a full
+// queue sheds the whole request), every later submission queues with
+// SubmitContext under the request's deadline — the same policy the
+// buffered path applies in runGrid.
+type streamAdmitter struct {
+	pool *Pool
+	ctx  context.Context
+
+	mu       sync.Mutex
+	admitted bool
+}
+
+func (a *streamAdmitter) admit(task func()) error {
+	a.mu.Lock()
+	first := !a.admitted
+	a.admitted = true
+	a.mu.Unlock()
+	if first {
+		return a.pool.TrySubmit(task)
+	}
+	err := a.pool.SubmitContext(a.ctx, task)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		err = admissionError{err}
+	}
+	return err
+}
+
+// resolveCell obtains one normalized cell's report through the result
+// cache, the per-fingerprint flight group, and the worker pool — the
+// per-cell core of runGrid, reshaped for callers that handle one cell at
+// a time. It runs on a dedicated (non-pool) goroutine, so waiter cells
+// may park on in-flight leaders without risking pool deadlock, exactly
+// like runGrid's handler-goroutine phase 3.
+func (s *Server) resolveCell(ctx context.Context, label string, wl core.Workload, admit func(func()) error) (*core.Report, string, error) {
+	tr := obs.FromContext(ctx)
+	key := wl.Fingerprint()
+	endLookup := tr.StartSpan(label + "cache-lookup")
+	rep, ok := s.cache.Get(key)
+	endLookup()
+	if ok {
+		s.attachProfile(tr, label, rep)
+		return rep, dispHit, nil
+	}
+	f, leader := s.flights.join(key)
+	if !leader {
+		rep, disp, err := s.awaitFlight(ctx, label, key, f, wl)
+		if err != nil {
+			return nil, "", err
+		}
+		if disp == dispCoalesced {
+			s.metrics.addCoalesced()
+		}
+		return rep, disp, nil
+	}
+	var (
+		lrep *core.Report
+		lerr error
+		done = make(chan struct{})
+	)
+	submitted := time.Now()
+	err := admit(func() {
+		defer close(done)
+		tr.AddSpan(label+"queue-wait", submitted, time.Now())
+		lrep, lerr = s.simulateCell(ctx, label, key, wl)
+		s.flights.complete(key, f, lrep, lerr)
+	})
+	if err != nil {
+		// The submission never happened; the flight must still complete —
+		// other requests may be subscribed to it.
+		s.flights.complete(key, f, nil, err)
+		return nil, "", err
+	}
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// The enqueued task still runs and completes the flight; it will
+		// observe the cancelled context immediately.
+		return nil, "", ctx.Err()
+	}
+	if lerr != nil {
+		return nil, "", lerr
+	}
+	return lrep, dispMiss, nil
+}
+
+// streamSweep executes the validated sweep in streaming mode. The
+// dispatcher walks the grid in order, claiming a reorder-window slot per
+// cell and resolving it on its own goroutine; the handler goroutine
+// drains slots in grid order, flushing each record as its cell
+// completes. A failure before the first record surfaces as a normal HTTP
+// error status (the overload taxonomy included); after that, the status
+// is committed, so the stream ends with an in-band error record instead.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, size int) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	tr := obs.FromContext(ctx)
+	// Spans past the cap record into a nil trace (every obs method is
+	// nil-safe): the per-request trace must not grow O(grid).
+	uncapped := obs.WithTrace(ctx, nil)
+
+	admitter := &streamAdmitter{pool: s.pool, ctx: ctx}
+	order := make(chan chan streamedCell, streamWindowSize(s.pool.Stats().Workers))
+
+	go func() {
+		defer close(order)
+		for i := 0; i < size; i++ {
+			slot := make(chan streamedCell, 1)
+			select {
+			case order <- slot:
+			case <-ctx.Done():
+				// The emitter stopped (client gone, deadline); undispatched
+				// cells are simply never started.
+				return
+			}
+			wl := req.Cell(i)
+			if req.Trace {
+				wl = withTracing(wl)
+			}
+			cctx, label := uncapped, ""
+			if i < streamSpanCells {
+				cctx, label = ctx, fmt.Sprintf("cell[%d] ", i)
+			}
+			go func(slot chan streamedCell, cctx context.Context, label string, wl core.Workload) {
+				rep, disp, err := s.resolveCell(cctx, label, wl.Normalize(), admitter.admit)
+				if err != nil {
+					slot <- streamedCell{err: err}
+					return
+				}
+				b, err := marshalReport(rep)
+				slot <- streamedCell{bytes: b, disp: disp, err: err}
+			}(slot, cctx, label, wl)
+		}
+	}()
+
+	var (
+		start      = time.Now()
+		flusher, _ = w.(http.Flusher)
+		wrote      bool
+		count      int
+		hits       int
+	)
+	fail := func(err error) {
+		cancel() // stop the dispatcher and the in-flight cells
+		if !wrote {
+			// Nothing committed yet: a full HTTP error (429/503 sheds keep
+			// their Retry-After) serves the client better than a 200 stream
+			// holding only an error record.
+			httpError(w, err)
+			return
+		}
+		status, d := classify(err)
+		_ = status // in-band: the 200 is already on the wire
+		writeNDJSON(w, flusher, ErrorEnvelope{Error: d})
+	}
+	for slot := range order {
+		var c streamedCell
+		select {
+		case c = <-slot:
+		case <-ctx.Done():
+			c = streamedCell{err: ctx.Err()}
+		}
+		if c.err != nil {
+			fail(c.err)
+			s.metrics.addStream(count)
+			return
+		}
+		if !wrote {
+			w.Header().Set("Content-Type", contentNDJSON)
+			wrote = true
+		}
+		w.Write(append(c.bytes, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		count++
+		if c.disp == dispHit {
+			hits++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		fail(err)
+		s.metrics.addStream(count)
+		return
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", contentNDJSON)
+	}
+	endEncode := tr.StartSpan("encode")
+	writeNDJSON(w, flusher, SweepSummary{
+		SchemaVersion: SchemaVersion,
+		Summary: SweepSummaryBody{
+			Count:     count,
+			CacheHits: hits,
+			WallNs:    time.Since(start).Nanoseconds(),
+		},
+	})
+	endEncode()
+	s.metrics.addStream(count)
+}
+
+// writeNDJSON emits one NDJSON record and flushes it.
+func writeNDJSON(w http.ResponseWriter, flusher http.Flusher, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(append(b, '\n'))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

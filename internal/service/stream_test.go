@@ -1,0 +1,312 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// streamSweepRequest POSTs a sweep with the NDJSON Accept header and
+// returns the raw response (caller closes the body).
+func streamSweepRequest(t *testing.T, url string, req SweepRequest) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/sweep", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readStream consumes an NDJSON sweep response: the cell records and
+// the trailing summary.
+func readStream(t *testing.T, resp *http.Response) (cells [][]byte, summary SweepSummary) {
+	t.Helper()
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var lines [][]byte
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := lines[len(lines)-1]
+	if !bytes.Contains(last, []byte(`"summary"`)) {
+		t.Fatalf("stream does not end with a summary record: %s", last)
+	}
+	if err := json.Unmarshal(last, &summary); err != nil {
+		t.Fatal(err)
+	}
+	return lines[:len(lines)-1], summary
+}
+
+func TestWantsNDJSON(t *testing.T) {
+	for _, tc := range []struct {
+		accept string
+		want   bool
+	}{
+		{"application/x-ndjson", true},
+		{"application/json, application/x-ndjson;q=0.9", true},
+		{" application/x-ndjson ; q=1", true},
+		{"application/json", false},
+		{"*/*", false},
+		{"", false},
+	} {
+		r, _ := http.NewRequest(http.MethodPost, "/v1/sweep", nil)
+		if tc.accept != "" {
+			r.Header.Set("Accept", tc.accept)
+		}
+		if got := wantsNDJSON(r); got != tc.want {
+			t.Errorf("wantsNDJSON(%q) = %v, want %v", tc.accept, got, tc.want)
+		}
+	}
+}
+
+func TestStreamWindowSize(t *testing.T) {
+	for _, tc := range []struct{ workers, want int }{
+		{1, 4}, {2, 4}, {4, 8}, {16, 32}, {64, 64}, {1000, 64},
+	} {
+		if got := streamWindowSize(tc.workers); got != tc.want {
+			t.Errorf("streamWindowSize(%d) = %d, want %d", tc.workers, got, tc.want)
+		}
+	}
+}
+
+// TestSweepStreamMatchesBuffered is the mode-equivalence acceptance
+// test: the streamed records must be byte-identical to the buffered
+// response's results array, in grid order, with the trailing summary
+// accounting for every cell.
+func TestSweepStreamMatchesBuffered(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Cold streamed run.
+	resp := streamSweepRequest(t, ts.URL, sweep16)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	cells, summary := readStream(t, resp)
+	if len(cells) != 16 {
+		t.Fatalf("streamed %d cell records, want 16", len(cells))
+	}
+	if summary.SchemaVersion != SchemaVersion {
+		t.Errorf("summary schemaVersion = %d", summary.SchemaVersion)
+	}
+	if summary.Summary.Count != 16 {
+		t.Errorf("summary count = %d, want 16", summary.Summary.Count)
+	}
+	if summary.Summary.WallNs <= 0 {
+		t.Errorf("summary wallNs = %d, want > 0", summary.Summary.WallNs)
+	}
+
+	// Buffered run on the same server: identical bytes per cell, grid
+	// order (the cache guarantees the reports are the same objects).
+	resp2, body := post(t, ts.URL+"/v1/sweep", sweep16)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("buffered status = %d: %s", resp2.StatusCode, body)
+	}
+	var buffered SweepResponse
+	if err := json.Unmarshal(body, &buffered); err != nil {
+		t.Fatal(err)
+	}
+	if buffered.Count != 16 || len(buffered.Results) != 16 {
+		t.Fatalf("buffered count = %d, results = %d", buffered.Count, len(buffered.Results))
+	}
+	for i := range cells {
+		if !bytes.Equal(cells[i], []byte(buffered.Results[i])) {
+			t.Fatalf("cell %d differs between modes:\nstream:   %s\nbuffered: %s",
+				i, cells[i], buffered.Results[i])
+		}
+	}
+
+	// A second streamed run is served from cache — the summary says so.
+	resp3 := streamSweepRequest(t, ts.URL, sweep16)
+	cells3, summary3 := readStream(t, resp3)
+	if summary3.Summary.CacheHits != 16 {
+		t.Errorf("warm stream cacheHits = %d, want 16", summary3.Summary.CacheHits)
+	}
+	for i := range cells {
+		if !bytes.Equal(cells[i], cells3[i]) {
+			t.Fatalf("cell %d differs between cold and warm streams", i)
+		}
+	}
+}
+
+// Buffered responses derive count from the results slice: a response
+// marshaled with any Count value still wires len(results).
+func TestSweepResponseCountDerived(t *testing.T) {
+	raw := []json.RawMessage{json.RawMessage(`{"a":1}`), json.RawMessage(`{"b":2}`)}
+	b, err := json.Marshal(SweepResponse{SchemaVersion: SchemaVersion, Results: raw, Count: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire struct {
+		Count   int               `json:"count"`
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(b, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Count != 2 {
+		t.Fatalf("wire count = %d, want len(results) = 2", wire.Count)
+	}
+	var back SweepResponse
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != 2 || len(back.Results) != 2 {
+		t.Fatalf("decoded Count = %d, Results = %d; want 2/2", back.Count, len(back.Results))
+	}
+}
+
+// The Images axis varies the extrapolation phase only; it nests
+// innermost so consecutive cells share a compiled window.
+func TestSweepImagesAxis(t *testing.T) {
+	req := SweepRequest{
+		Base:   core.Workload{Model: "lenet", Batch: 16},
+		GPUs:   []int{1, 2},
+		Images: []int64{1000, 2000},
+	}
+	if req.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", req.Size())
+	}
+	grid := req.Expand()
+	want := []struct {
+		gpus   int
+		images int64
+	}{{1, 1000}, {1, 2000}, {2, 1000}, {2, 2000}}
+	for i, w := range want {
+		if grid[i].GPUs != w.gpus || grid[i].Images != w.images {
+			t.Fatalf("cell %d = gpus %d images %d, want %d/%d",
+				i, grid[i].GPUs, grid[i].Images, w.gpus, w.images)
+		}
+		if !bytes.Equal(mustJSON(t, grid[i]), mustJSON(t, req.Cell(i))) {
+			t.Fatalf("Expand and Cell disagree at %d", i)
+		}
+	}
+}
+
+// TestStreamCompileEconomy is the tentpole acceptance test: a large
+// grid varying only the iteration count (the Images axis) streams over
+// NDJSON while compiling exactly ONE train.Window — every cell shares
+// the one compile-phase plan and differs only in extrapolation.
+func TestStreamCompileEconomy(t *testing.T) {
+	const cells = 10_000
+	// Batch 19 is deliberately odd so no other test has this plan in the
+	// process-wide artifact cache.
+	req := SweepRequest{
+		Base:   core.Workload{Model: "lenet", GPUs: 1, Batch: 19},
+		Images: make([]int64, cells),
+	}
+	for i := range req.Images {
+		// All >= 4 simulated iterations (batch 19 → window caps at 4), so
+		// every cell shares the same compile-phase artifact key.
+		req.Images[i] = 4096 + int64(i)*19
+	}
+	_, ts := newTestServer(t, Config{Timeout: 120 * time.Second})
+
+	before := core.CompileCount()
+	resp := streamSweepRequest(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	got, summary := readStream(t, resp)
+	compiled := core.CompileCount() - before
+
+	if len(got) != cells {
+		t.Fatalf("streamed %d records, want %d", len(got), cells)
+	}
+	if summary.Summary.Count != cells {
+		t.Fatalf("summary count = %d, want %d", summary.Summary.Count, cells)
+	}
+	if compiled != 1 {
+		t.Fatalf("grid varying only Images compiled %d windows, want exactly 1", compiled)
+	}
+	// Spot-check record shape and distinctness: different Images must
+	// produce different cells.
+	if bytes.Equal(got[0], got[cells-1]) {
+		t.Fatal("first and last cells identical; Images axis not applied")
+	}
+}
+
+// TestStreamClientDisconnect proves a mid-stream hangup cancels the
+// remaining grid: the dispatcher stops, in-flight cells observe the
+// cancelled context, the pool drains, and most of the grid was never
+// simulated.
+func TestStreamClientDisconnect(t *testing.T) {
+	// 256 distinct cells, each a fresh compile on a single worker: the
+	// stream takes long enough that the hangup lands mid-grid.
+	grid := SweepRequest{
+		Base:    core.Workload{Images: 1 << 18},
+		Models:  []string{"resnet", "inception-v3", "googlenet", "alexnet"},
+		GPUs:    []int{1, 2, 3, 4, 5, 6, 7, 8},
+		Batches: []int{4, 8, 16, 32},
+		Methods: []core.Method{core.P2P, core.NCCL},
+	}
+	size := grid.Size()
+	svc, ts := newTestServer(t, Config{Workers: 1})
+
+	resp := streamSweepRequest(t, ts.URL, grid)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Read exactly one record, then hang up.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadBytes('\n'); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	resp.Body.Close()
+
+	// The pool must drain: no cell may keep running or sit queued once
+	// the client is gone.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ps := svc.PoolStats()
+		if ps.Active == 0 && ps.Queued == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool did not drain after disconnect: %+v", ps)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Allow a brief settle for any cell that was mid-simulate at hangup.
+	time.Sleep(50 * time.Millisecond)
+	if got := svc.CacheStats().Size; got >= size/2 {
+		t.Fatalf("cache holds %d reports, want far fewer than %d (remaining cells should never run)", got, size)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,7 +1,6 @@
 package service
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
@@ -32,11 +31,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	tr, ok := s.traces.Get(id)
 	if !ok {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusNotFound)
-		json.NewEncoder(w).Encode(map[string]string{
-			"error": fmt.Sprintf("no trace for request id %q (the store retains the most recent %d requests)", id, obs.DefaultStoreSize),
-		})
+		notFound(w, fmt.Sprintf("no trace for request id %q (the store retains the most recent %d requests)", id, obs.DefaultStoreSize))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

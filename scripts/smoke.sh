@@ -67,9 +67,36 @@ for series in \
     dgxsimd_coalesced_total \
     dgxsimd_admission_queue_depth \
     dgxsimd_admission_queue_capacity \
+    dgxsimd_sweep_streams_total \
+    dgxsimd_sweep_streamed_cells_total \
+    dgxsimd_compile_windows_total \
     dgxsimd_inflight; do
     grep -q "$series" <<<"$METRICS" || fail "/metrics missing $series"
 done
+
+echo "smoke: API index"
+INDEX="$(curl -fsS "$BASE/v1/")" || fail "GET /v1/ failed"
+grep -q '"/v1/optimize"' <<<"$INDEX" || fail "index missing /v1/optimize"
+grep -q 'application/x-ndjson' <<<"$INDEX" || fail "index does not advertise NDJSON sweeps"
+
+echo "smoke: streaming sweep (NDJSON)"
+SWEEP_BODY='{"Base":{"Model":"lenet","Batch":16,"Images":4096},"GPUs":[1,2],"Methods":["nccl"]}'
+NDJSON="$(curl -fsS -X POST -H 'Accept: application/x-ndjson' "$BASE/v1/sweep" -d "$SWEEP_BODY")" \
+    || fail "POST /v1/sweep (NDJSON) failed"
+RECORDS="$(grep -c . <<<"$NDJSON")"
+[[ "$RECORDS" -ge 2 ]] || fail "NDJSON stream returned $RECORDS records, want >= 2"
+tail -n 1 <<<"$NDJSON" | grep -q '"summary"' || fail "stream missing the trailing summary record"
+head -n 1 <<<"$NDJSON" | grep -q '"workload"' || fail "first stream record is not a cell report"
+
+echo "smoke: optimizer"
+OPT_BODY='{"base":{"Model":"lenet","Batch":16,"Images":4096},"objective":"min_epoch_time","space":{"gpus":[1,2,4],"methods":["nccl"]}}'
+OPT="$(curl -fsS -X POST "$BASE/v1/optimize" -d "$OPT_BODY")" || fail "POST /v1/optimize failed"
+grep -q '"frontier"' <<<"$OPT" || fail "optimize response missing the frontier"
+grep -q '"fingerprint"' <<<"$OPT" || fail "optimize frontier missing per-point provenance"
+
+echo "smoke: error envelope"
+ENVELOPE="$(curl -s "$BASE/v1/bogus")"
+grep -q '"code":"not_found"' <<<"$ENVELOPE" || fail "unknown /v1 path did not answer with the error envelope"
 
 echo "smoke: fleet simulation request"
 CLUSTER_BODY='{
