@@ -2,7 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check smoke bench bench-json serve experiments examples clean
+.PHONY: all build test test-race vet fmt-check smoke bench bench-json bench-gate serve experiments examples clean
+
+# The tracked benchmark set: the compile-once/simulate-many split (cold
+# vs warm core.Run, the 8-way RunMany sweep) plus the service's warm hit
+# path (preserialized byte cache). The committed BENCH_<date>.json floor
+# these; `make bench-gate` enforces it.
+BENCH_SET    := BenchmarkCoreRun(Cold|Warm|Many8)$$|BenchmarkServiceCacheHit$$
+BENCH_BASE   ?= BENCH_2026-08-08.json
+MAX_REGRESS  ?= 35%
 
 all: build vet fmt-check test
 
@@ -40,13 +48,22 @@ serve:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Snapshot the tracked performance baseline (cold vs warm core.Run and
-# the 8-way RunMany sweep) as BENCH_<date>.json for commit-over-commit
-# comparison. README "Performance" explains the numbers.
+# Snapshot the tracked performance baseline as BENCH_<date>.json for
+# commit-over-commit comparison. README "Performance" explains the
+# numbers. Refreshing the baseline is an intentional act: run this,
+# commit the new file, and point BENCH_BASE (below) at it.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkCoreRun(Cold|Warm|Many8)$$' -benchmem . \
+	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -count=3 . \
 		| $(GO) run ./cmd/benchjson -date $$(date +%F) > BENCH_$$(date +%F).json
 	@cat BENCH_$$(date +%F).json
+
+# Perf regression gate (CI runs this): run the tracked set 3x, fold to
+# best-of-3 per benchmark, and fail if ns/op or allocs/op regressed more
+# than MAX_REGRESS against the committed $(BENCH_BASE). The fresh
+# snapshot lands in bench-fresh.json (CI uploads it as an artifact).
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -count=3 . \
+		| $(GO) run ./cmd/benchjson -diff $(BENCH_BASE) -max-regress $(MAX_REGRESS) > bench-fresh.json
 
 # Regenerate every paper artifact (tables and figures) on stdout.
 experiments:
@@ -63,4 +80,4 @@ examples:
 	$(GO) run ./examples/parallelism
 
 clean:
-	rm -f trace.json test_output.txt bench_output.txt
+	rm -f trace.json test_output.txt bench_output.txt bench-fresh.json

@@ -421,6 +421,46 @@ func BenchmarkCoreRunWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceCacheHit measures the warm /v1/simulate hit path —
+// the allocation floor the preserialized byte cache buys. Every
+// iteration drives the full handler stack (mux, admission, fingerprint,
+// cache) via ServeHTTP on a recorder, no client or socket in the loop;
+// on a hit the handler writes the cached bytes verbatim, so JSON
+// marshaling must contribute zero allocs/op here. Tracked in the
+// committed baseline and gated by `make bench-gate`.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	svc := service.NewServer(service.Config{Workers: 2})
+	defer svc.Close()
+	h := svc.Handler()
+	body, err := json.Marshal(benchWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	do := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/simulate", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := do(); rec.Code != http.StatusOK { // prime the cache
+		b.Fatalf("prime: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(); rec.Header().Get("X-Cache") != "HIT" {
+		b.Fatalf("second request not a hit: X-Cache=%q", rec.Header().Get("X-Cache"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := do(); rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	st := svc.CacheStats()
+	b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "cache-hit-ratio")
+}
+
 // BenchmarkCoreRunMany8 measures the batch entry point on an 8-way
 // dataset-size sweep sharing one compiled window (the compile-once,
 // simulate-many shape sweeps hit).

@@ -296,31 +296,38 @@ func (p *Profile) Scale(f float64) {
 // Clone returns a deep copy of the profile. The compiled-window cache in
 // the training layer keeps one immutable window profile per artifact and
 // clones it for every extrapolated result, so callers can Scale their
-// copy without touching the shared original.
+// copy without touching the shared original. All cloned Stat values live
+// in one backing arena sized up front — the warm extrapolation path calls
+// Clone per request, and one allocation per map entry was most of its
+// per-call garbage.
 func (p *Profile) Clone() *Profile {
+	arena := make([]Stat, 0, len(p.api)+len(p.kernels)+len(p.transfers))
 	q := &Profile{
-		api:       cloneStats(p.api),
-		kernels:   cloneStats(p.kernels),
-		transfers: cloneStats(p.transfers),
 		stageBusy: p.stageBusy,
 		stageWall: p.stageWall,
 		detail:    p.detail,
 		maxDetail: p.maxDetail,
 		dropped:   p.dropped,
 	}
+	q.api, arena = cloneStats(p.api, arena)
+	q.kernels, arena = cloneStats(p.kernels, arena)
+	q.transfers, _ = cloneStats(p.transfers, arena)
 	if p.intervals != nil {
 		q.intervals = append([]Interval(nil), p.intervals...)
 	}
 	return q
 }
 
-func cloneStats(m map[string]*Stat) map[string]*Stat {
+// cloneStats copies one stat map, placing the copied values in arena.
+// The arena's capacity covers every map of the profile, so the appends
+// never reallocate and the returned pointers stay valid.
+func cloneStats(m map[string]*Stat, arena []Stat) (map[string]*Stat, []Stat) {
 	out := make(map[string]*Stat, len(m))
 	for n, s := range m {
-		c := *s
-		out[n] = &c
+		arena = append(arena, *s)
+		out[n] = &arena[len(arena)-1]
 	}
-	return out
+	return out, arena
 }
 
 // Merge adds other's aggregates into p. Detailed intervals are appended up

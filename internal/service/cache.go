@@ -4,14 +4,28 @@ import (
 	"container/list"
 	"sync"
 
-	"repro/internal/core"
+	"repro/internal/profiler"
 )
 
-// Cache is a bounded LRU of simulation reports keyed by the canonical
-// workload fingerprint (core.Workload.Fingerprint). The simulator is
-// deterministic, so a hit is exactly the report a fresh run would
-// produce — repeated what-if queries return in microseconds instead of
-// re-simulating the epoch. Safe for concurrent use.
+// cached is one result-cache value: the preserialized response envelope
+// (the exact bytes marshalReport produced, schemaVersion included) plus,
+// for traced runs only, the simulator profile whose retained intervals
+// back /v1/trace. Body is immutable by contract — every holder shares
+// the one slice and only ever writes it to a ResponseWriter — which is
+// what makes cache hits byte-identical by construction and removes the
+// shared-pointer hazard the old *core.Report cache carried (one handler
+// mutating a cached report would have corrupted every later hit).
+type cached struct {
+	body    []byte
+	profile *profiler.Profile
+}
+
+// Cache is a bounded LRU of preserialized simulation responses keyed by
+// the canonical workload fingerprint (core.Workload.Fingerprint). The
+// simulator is deterministic, so a hit is exactly the body a fresh run
+// would serialize — repeated what-if queries return in microseconds with
+// zero marshaling instead of re-simulating and re-encoding the epoch.
+// Safe for concurrent use.
 type Cache struct {
 	mu    sync.Mutex
 	max   int
@@ -22,11 +36,11 @@ type Cache struct {
 }
 
 type cacheEntry struct {
-	key    string
-	report *core.Report
+	key string
+	val *cached
 }
 
-// NewCache returns an LRU holding at most max reports; max <= 0 selects
+// NewCache returns an LRU holding at most max responses; max <= 0 selects
 // a default of 1024 (a full 5-model × 8-GPU × 3-batch × 2-method grid is
 // 240 entries, so the default keeps several sweeps resident).
 func NewCache(max int) *Cache {
@@ -40,9 +54,10 @@ func NewCache(max int) *Cache {
 	}
 }
 
-// Get returns the cached report for a fingerprint, promoting it to most
-// recently used.
-func (c *Cache) Get(key string) (*core.Report, bool) {
+// Get returns the cached response for a fingerprint, promoting it to most
+// recently used. The returned value is shared and immutable: callers
+// write val.body to the wire as-is and never modify it.
+func (c *Cache) Get(key string) (*cached, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -52,34 +67,36 @@ func (c *Cache) Get(key string) (*core.Report, bool) {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).report, true
+	return el.Value.(*cacheEntry).val, true
 }
 
-// Peek returns the cached report for a fingerprint without touching
+// Peek returns the cached response for a fingerprint without touching
 // recency or the hit/miss counters. It backs internal double-checks —
 // a flight leader re-probing after winning its flight — which are not
 // client lookups and would otherwise skew the published hit ratio.
-func (c *Cache) Peek(key string) (*core.Report, bool) {
+func (c *Cache) Peek(key string) (*cached, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		return nil, false
 	}
-	return el.Value.(*cacheEntry).report, true
+	return el.Value.(*cacheEntry).val, true
 }
 
-// Put stores a report, evicting the least recently used entry when full.
-// Storing an existing key refreshes its value and recency.
-func (c *Cache) Put(key string, r *core.Report) {
+// Put stores a response, evicting the least recently used entry when
+// full. Storing an existing key refreshes its value and recency. The
+// cache takes ownership of val's body: the caller must not modify it
+// afterwards.
+func (c *Cache) Put(key string, val *cached) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).report = r
+		el.Value.(*cacheEntry).val = val
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, report: r})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
 	if c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

@@ -4,12 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"testing"
-
-	"repro/internal/core"
 )
 
-func report(model string) *core.Report {
-	return &core.Report{Workload: core.Workload{Model: model}}
+func entry(body string) *cached {
+	return &cached{body: []byte(body)}
 }
 
 func TestCacheHitMiss(t *testing.T) {
@@ -17,10 +15,10 @@ func TestCacheHitMiss(t *testing.T) {
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("empty cache should miss")
 	}
-	c.Put("a", report("lenet"))
-	r, ok := c.Get("a")
-	if !ok || r.Workload.Model != "lenet" {
-		t.Fatalf("Get after Put = %v, %v", r, ok)
+	c.Put("a", entry(`{"model":"lenet"}`))
+	v, ok := c.Get("a")
+	if !ok || string(v.body) != `{"model":"lenet"}` {
+		t.Fatalf("Get after Put = %v, %v", v, ok)
 	}
 	st := c.Stats()
 	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
@@ -30,10 +28,10 @@ func TestCacheHitMiss(t *testing.T) {
 
 func TestCacheEvictsLRU(t *testing.T) {
 	c := NewCache(2)
-	c.Put("a", report("a"))
-	c.Put("b", report("b"))
+	c.Put("a", entry("a"))
+	c.Put("b", entry("b"))
 	c.Get("a") // refresh a; b is now the LRU
-	c.Put("c", report("c"))
+	c.Put("c", entry("c"))
 	if _, ok := c.Get("b"); ok {
 		t.Error("b should have been evicted as least recently used")
 	}
@@ -50,12 +48,12 @@ func TestCacheEvictsLRU(t *testing.T) {
 
 func TestCachePutExistingRefreshes(t *testing.T) {
 	c := NewCache(2)
-	c.Put("a", report("old"))
-	c.Put("b", report("b"))
-	c.Put("a", report("new")) // refresh, no eviction
-	c.Put("c", report("c"))   // evicts b, the LRU
-	if r, ok := c.Get("a"); !ok || r.Workload.Model != "new" {
-		t.Errorf("refreshed entry = %v, %v", r, ok)
+	c.Put("a", entry("old"))
+	c.Put("b", entry("b"))
+	c.Put("a", entry("new")) // refresh, no eviction
+	c.Put("c", entry("c"))   // evicts b, the LRU
+	if v, ok := c.Get("a"); !ok || string(v.body) != "new" {
+		t.Errorf("refreshed entry = %v, %v", v, ok)
 	}
 	if _, ok := c.Get("b"); ok {
 		t.Error("b should have been evicted")
@@ -66,6 +64,23 @@ func TestCacheDefaultCapacity(t *testing.T) {
 	c := NewCache(0)
 	if c.Stats().Max != 1024 {
 		t.Errorf("default max = %d, want 1024", c.Stats().Max)
+	}
+}
+
+// TestCachePeekDoesNotCount pins Peek's contract: no recency promotion,
+// no hit/miss accounting — it backs internal double-checks that must not
+// skew the published hit ratio.
+func TestCachePeekDoesNotCount(t *testing.T) {
+	c := NewCache(2)
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("Peek on empty cache should miss")
+	}
+	c.Put("a", entry("a"))
+	if v, ok := c.Peek("a"); !ok || string(v.body) != "a" {
+		t.Fatalf("Peek = %v, %v", v, ok)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("Peek moved the counters: %+v", st)
 	}
 }
 
@@ -81,7 +96,7 @@ func TestCacheConcurrent(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", (g+i)%32)
 				if _, ok := c.Get(key); !ok {
-					c.Put(key, report(key))
+					c.Put(key, entry(key))
 				}
 			}
 		}(g)

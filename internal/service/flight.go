@@ -1,29 +1,27 @@
 package service
 
-import (
-	"sync"
-
-	"repro/internal/core"
-)
+import "sync"
 
 // flightGroup coalesces concurrent cache misses per workload
 // fingerprint: of N identical in-flight requests, exactly one (the
-// leader) simulates while the rest wait for its report. The core
-// artifact layer already dedups the compile phase across requests; this
-// dedups the whole simulate-and-report path, so a burst of identical
-// what-if queries — the dominant shape of production training-fleet
-// traffic — costs one pool slot instead of N.
+// leader) simulates while the rest wait for its preserialized response.
+// The core artifact layer already dedups the compile phase across
+// requests; this dedups the whole simulate-serialize path, so a burst of
+// identical what-if queries — the dominant shape of production
+// training-fleet traffic — costs one pool slot instead of N.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flight
 }
 
 // flight is one in-progress simulation other requests may subscribe to.
-// rep and err are written exactly once, before done is closed; waiters
-// read them only after <-done.
+// val and err are written exactly once, before done is closed; waiters
+// read them only after <-done. val is the same immutable cached value
+// the leader stored, so a waiter's response is byte-identical to the
+// leader's.
 type flight struct {
 	done chan struct{}
-	rep  *core.Report
+	val  *cached
 	err  error
 }
 
@@ -47,12 +45,12 @@ func (g *flightGroup) join(key string) (*flight, bool) {
 
 // complete publishes the leader's outcome to every waiter and retires
 // the flight, so the next miss for the key starts a fresh one.
-func (g *flightGroup) complete(key string, f *flight, rep *core.Report, err error) {
+func (g *flightGroup) complete(key string, f *flight, val *cached, err error) {
 	g.mu.Lock()
 	if g.m[key] == f {
 		delete(g.m, key)
 	}
 	g.mu.Unlock()
-	f.rep, f.err = rep, err
+	f.val, f.err = val, err
 	close(f.done)
 }

@@ -90,10 +90,21 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	for i := range cands {
 		labels[i] = fmt.Sprintf("cand[%d] ", i)
 	}
-	reps, disps, err := s.runGrid(ctx, labels, cands)
+	vals, disps, err := s.runGrid(ctx, labels, cands)
 	if err != nil {
 		httpError(w, err)
 		return
+	}
+	// The grid returns preserialized responses; the optimizer judges
+	// dominance on the numbers, so rebuild the report structs from the
+	// cached bytes (a decode per candidate — the search itself simulated
+	// or cache-served every cell, so this is noise by comparison).
+	reps := make([]*core.Report, len(vals))
+	for i, v := range vals {
+		if reps[i], err = decodeCachedReport(v.body); err != nil {
+			httpError(w, err)
+			return
+		}
 	}
 	res, err := optimize.Frontier(cands, reps, obj, req.MemoryCapGiB)
 	if err != nil {

@@ -58,6 +58,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -71,6 +72,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/profiler"
 )
 
 // Config tunes a Server.
@@ -355,9 +357,65 @@ func marshalReport(r *core.Report) ([]byte, error) {
 	return json.Marshal(reportBody{SchemaVersion: SchemaVersion, Report: r})
 }
 
+// newCached serializes a freshly simulated report into the immutable
+// value the cache, the flight group, and every handler share. This is
+// the only place a report is marshaled on the miss path; hits reuse the
+// bytes verbatim. The profile rides along only when the run retained
+// intervals (a traced workload — which fingerprints separately), so
+// untraced entries hold nothing but the response bytes.
+func newCached(r *core.Report) (*cached, error) {
+	b, err := marshalReport(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &cached{body: b}
+	if r.Profile != nil && len(r.Profile.Intervals()) > 0 {
+		c.profile = r.Profile
+	}
+	return c, nil
+}
+
+// envelopePrefix is the leading bytes of every marshaled reportBody:
+// the opening brace and the schemaVersion field reportRaw strips when an
+// endpoint needs the bare report JSON nested inside its own envelope.
+var envelopePrefix = []byte(fmt.Sprintf(`{"schemaVersion":%d,`, SchemaVersion))
+
+// reportRaw converts a cached response envelope into the bare report
+// JSON — exactly json.Marshal(*core.Report) for the same report, since
+// reportBody only prepends the schemaVersion field to the report's own
+// promoted fields. /v1/compare nests reports inside per-method records,
+// which carry the schemaVersion at their outer level instead.
+func reportRaw(body []byte) (json.RawMessage, error) {
+	if !bytes.HasPrefix(body, envelopePrefix) {
+		return nil, fmt.Errorf("cached response missing envelope prefix %q", envelopePrefix)
+	}
+	raw := make(json.RawMessage, 0, len(body)-len(envelopePrefix)+1)
+	raw = append(raw, '{')
+	return append(raw, body[len(envelopePrefix):]...), nil
+}
+
+// decodeCachedReport rebuilds the report struct from a cached envelope
+// for the few consumers that need the numbers rather than the bytes
+// (the optimizer judging dominance). The profile is not on the wire and
+// stays nil; byte-cache consumers never need it.
+func decodeCachedReport(body []byte) (*core.Report, error) {
+	var rb reportBody
+	rb.Report = &core.Report{}
+	if err := json.Unmarshal(body, &rb); err != nil {
+		return nil, fmt.Errorf("decode cached report: %w", err)
+	}
+	return rb.Report, nil
+}
+
+// writeJSONBytes writes a JSON body and its trailing newline. The two
+// Writes matter: b may be a shared cached response, and append(b, '\n')
+// would write into its backing array — a data race between concurrent
+// hits on the same entry, and a mutation of bytes that must stay
+// immutable.
 func writeJSONBytes(w http.ResponseWriter, b []byte) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(append(b, '\n'))
+	w.Write(b)
+	io.WriteString(w, "\n")
 }
 
 // Cell dispositions: how each grid cell obtained its report. They feed
@@ -391,12 +449,12 @@ type gridCell struct {
 }
 
 // runGrid executes validated workloads through the cache, the
-// per-fingerprint flight group, and the worker pool, returning reports
-// and per-cell dispositions aligned with cells. It is the one execution
-// path behind /v1/simulate (one cell), /v1/compare (two), and /v1/sweep
-// (the grid). labels[i] prefixes cell i's span names ("cell[3] " for a
-// sweep cell, "p2p " for a compare arm) so fanned-out work attributes
-// back to the one originating trace.
+// per-fingerprint flight group, and the worker pool, returning the
+// preserialized response for each cell and per-cell dispositions aligned
+// with cells. It is the one execution path behind /v1/simulate (one
+// cell), /v1/compare (two), and /v1/sweep (the grid). labels[i] prefixes
+// cell i's span names ("cell[3] " for a sweep cell, "p2p " for a compare
+// arm) so fanned-out work attributes back to the one originating trace.
 //
 // Overload behaviour: cache hits are served unconditionally (no pool
 // slot needed). The first cell that actually needs a simulation is the
@@ -407,10 +465,10 @@ type gridCell struct {
 // already being simulated — by this request or any other — never submit
 // at all: they coalesce onto the in-flight run and wait on the handler
 // goroutine (never on a pool worker, which could deadlock a full pool).
-func (s *Server) runGrid(ctx context.Context, labels []string, cells []core.Workload) ([]*core.Report, []string, error) {
+func (s *Server) runGrid(ctx context.Context, labels []string, cells []core.Workload) ([]*cached, []string, error) {
 	tr := obs.FromContext(ctx)
 	n := len(cells)
-	reports := make([]*core.Report, n)
+	vals := make([]*cached, n)
 	disps := make([]string, n)
 	norm := make([]core.Workload, n)
 	var leaders, waiters []gridCell
@@ -418,17 +476,17 @@ func (s *Server) runGrid(ctx context.Context, labels []string, cells []core.Work
 	// Phase 1: cache lookups and flight subscription, cheap and local.
 	// Normalizing before fingerprinting makes spelled-out defaults and
 	// omitted ones share a cache slot (Fingerprint normalizes internally
-	// too; doing it here keeps the cached Report's echoed workload
+	// too; doing it here keeps the cached report's echoed workload
 	// identical for both spellings).
 	for i, w := range cells {
 		norm[i] = w.Normalize()
 		key := norm[i].Fingerprint()
 		endLookup := tr.StartSpan(labels[i] + "cache-lookup")
-		r, ok := s.cache.Get(key)
+		v, ok := s.cache.Get(key)
 		endLookup()
 		if ok {
-			s.attachProfile(tr, labels[i], r)
-			reports[i], disps[i] = r, dispHit
+			s.attachProfile(tr, labels[i], v.profile)
+			vals[i], disps[i] = v, dispHit
 			continue
 		}
 		f, leader := s.flights.join(key)
@@ -490,9 +548,9 @@ func (s *Server) runGrid(ctx context.Context, labels []string, cells []core.Work
 			task := func() {
 				defer wg.Done()
 				tr.AddSpan(label+"queue-wait", submitted, time.Now())
-				rep, err := s.simulateCell(ctx, label, c.key, norm[c.i])
-				s.flights.complete(c.key, c.flight, rep, err)
-				reports[c.i] = rep
+				val, err := s.simulateCell(ctx, label, c.key, norm[c.i])
+				s.flights.complete(c.key, c.flight, val, err)
+				vals[c.i] = val
 				record(c.i, err)
 			}
 			wg.Add(1)
@@ -520,12 +578,12 @@ func (s *Server) runGrid(ctx context.Context, labels []string, cells []core.Work
 	// must never occupy a pool worker while the leader it waits for sits
 	// in the queue behind it.
 	for _, c := range waiters {
-		rep, disp, err := s.awaitFlight(ctx, labels[c.i], c.key, c.flight, norm[c.i])
+		val, disp, err := s.awaitFlight(ctx, labels[c.i], c.key, c.flight, norm[c.i])
 		if err != nil {
 			record(c.i, err)
 			continue
 		}
-		reports[c.i] = rep
+		vals[c.i] = val
 		disps[c.i] = disp
 		if disp == dispCoalesced {
 			s.metrics.addCoalesced()
@@ -547,18 +605,19 @@ func (s *Server) runGrid(ctx context.Context, labels []string, cells []core.Work
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	return reports, disps, nil
+	return vals, disps, nil
 }
 
-// simulateCell runs one workload on the current (pool-worker) goroutine
-// and stores the result. The recover mirrors Pool.call: a leader's
-// panic must fail its flight — waiters across requests are subscribed —
-// not strand them, and certainly not kill the daemon.
-func (s *Server) simulateCell(ctx context.Context, label, key string, w core.Workload) (rep *core.Report, err error) {
+// simulateCell runs one workload on the current (pool-worker) goroutine,
+// serializes it once, and stores the bytes. The recover mirrors
+// Pool.call: a leader's panic must fail its flight — waiters across
+// requests are subscribed — not strand them, and certainly not kill the
+// daemon.
+func (s *Server) simulateCell(ctx context.Context, label, key string, w core.Workload) (val *cached, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.pool.recordPanic()
-			rep, err = nil, fmt.Errorf("panic: %v", r)
+			val, err = nil, fmt.Errorf("panic: %v", r)
 		}
 	}()
 	if err := ctx.Err(); err != nil {
@@ -567,21 +626,27 @@ func (s *Server) simulateCell(ctx context.Context, label, key string, w core.Wor
 	tr := obs.FromContext(ctx)
 	// Double-check the cache (Peek: not a client lookup): between this
 	// cell's lookup and its flight win, an earlier flight for the key may
-	// have completed and stored — serving the stored report keeps "N
+	// have completed and stored — serving the stored bytes keeps "N
 	// identical misses, one simulation" true across that window too.
-	if rep, ok := s.cache.Peek(key); ok {
-		s.attachProfile(tr, label, rep)
-		return rep, nil
+	if val, ok := s.cache.Peek(key); ok {
+		s.attachProfile(tr, label, val.profile)
+		return val, nil
 	}
 	endSim := tr.StartSpan(label + "simulate")
-	rep, err = core.RunContext(ctx, w)
+	rep, err := core.RunContext(ctx, w)
 	endSim()
 	if err != nil {
 		return nil, err
 	}
-	s.cache.Put(key, rep)
-	s.attachProfile(tr, label, rep)
-	return rep, nil
+	endEnc := tr.StartSpan(label + "serialize")
+	val, err = newCached(rep)
+	endEnc()
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(key, val)
+	s.attachProfile(tr, label, val.profile)
+	return val, nil
 }
 
 // awaitFlight blocks (on the handler goroutine) until the subscribed
@@ -589,9 +654,9 @@ func (s *Server) simulateCell(ctx context.Context, label, key string, w core.Wor
 // reasons of its own (its client hung up, its deadline passed, it was
 // shed) while this request is still live — takes over: re-check the
 // cache, rejoin the flight, and lead the simulation itself if it wins
-// the new flight. The returned disposition records how the report was
+// the new flight. The returned disposition records how the response was
 // finally obtained.
-func (s *Server) awaitFlight(ctx context.Context, label, key string, f *flight, w core.Workload) (*core.Report, string, error) {
+func (s *Server) awaitFlight(ctx context.Context, label, key string, f *flight, w core.Workload) (*cached, string, error) {
 	tr := obs.FromContext(ctx)
 	endWait := tr.StartSpan(label + "coalesce-wait")
 	defer endWait()
@@ -602,8 +667,8 @@ func (s *Server) awaitFlight(ctx context.Context, label, key string, f *flight, 
 			return nil, "", ctx.Err()
 		}
 		if f.err == nil {
-			s.attachProfile(tr, label, f.rep)
-			return f.rep, dispCoalesced, nil
+			s.attachProfile(tr, label, f.val.profile)
+			return f.val, dispCoalesced, nil
 		}
 		if !retryableFlightErr(f.err) || ctx.Err() != nil {
 			return nil, "", f.err
@@ -611,18 +676,18 @@ func (s *Server) awaitFlight(ctx context.Context, label, key string, f *flight, 
 		// The leader's failure was about the leader, not the workload.
 		// Another request may have completed it meanwhile; otherwise
 		// race for the next flight.
-		if rep, ok := s.cache.Get(key); ok {
-			s.attachProfile(tr, label, rep)
-			return rep, dispHit, nil
+		if val, ok := s.cache.Get(key); ok {
+			s.attachProfile(tr, label, val.profile)
+			return val, dispHit, nil
 		}
 		var leader bool
 		f, leader = s.flights.join(key)
 		if leader {
-			rep, err := s.leadOne(ctx, label, key, f, w)
+			val, err := s.leadOne(ctx, label, key, f, w)
 			if err != nil {
 				return nil, "", err
 			}
-			return rep, dispMiss, nil
+			return val, dispMiss, nil
 		}
 	}
 }
@@ -631,10 +696,10 @@ func (s *Server) awaitFlight(ctx context.Context, label, key string, f *flight, 
 // original leader failed. It queues with SubmitContext — the request
 // was already willing to wait for this work — and publishes the outcome
 // (including a submission failure) to the flight it now owns.
-func (s *Server) leadOne(ctx context.Context, label, key string, f *flight, w core.Workload) (*core.Report, error) {
+func (s *Server) leadOne(ctx context.Context, label, key string, f *flight, w core.Workload) (*cached, error) {
 	tr := obs.FromContext(ctx)
 	var (
-		rep  *core.Report
+		val  *cached
 		err  error
 		done = make(chan struct{})
 	)
@@ -642,7 +707,7 @@ func (s *Server) leadOne(ctx context.Context, label, key string, f *flight, w co
 	serr := s.pool.SubmitContext(ctx, func() {
 		defer close(done)
 		tr.AddSpan(label+"queue-wait", submitted, time.Now())
-		rep, err = s.simulateCell(ctx, label, key, w)
+		val, err = s.simulateCell(ctx, label, key, w)
 	})
 	if serr != nil {
 		if !errors.Is(serr, context.Canceled) {
@@ -652,8 +717,8 @@ func (s *Server) leadOne(ctx context.Context, label, key string, f *flight, w co
 		return nil, serr
 	}
 	<-done
-	s.flights.complete(key, f, rep, err)
-	return rep, err
+	s.flights.complete(key, f, val, err)
+	return val, err
 }
 
 // retryableFlightErr reports whether a leader's failure reflects the
@@ -665,11 +730,13 @@ func retryableFlightErr(err error) bool {
 		errors.Is(err, ErrQueueFull)
 }
 
-// attachProfile hangs a report's retained simulator timeline on the
-// request trace (no-op for untraced runs, which retain no intervals).
-func (s *Server) attachProfile(tr *obs.Trace, label string, r *core.Report) {
-	if r.Profile != nil && len(r.Profile.Intervals()) > 0 {
-		tr.Attach(label+"profile", r.Profile)
+// attachProfile hangs a retained simulator timeline on the request trace
+// (no-op for untraced runs, whose cached values carry no profile). The
+// attached profile is shared across every request that hits the entry;
+// trace rendering only reads it (Merge reads its argument).
+func (s *Server) attachProfile(tr *obs.Trace, label string, p *profiler.Profile) {
+	if p != nil {
+		tr.Attach(label+"profile", p)
 	}
 }
 
@@ -692,21 +759,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	reps, disps, err := s.runGrid(ctx, []string{""}, []core.Workload{wl})
+	vals, disps, err := s.runGrid(ctx, []string{""}, []core.Workload{wl})
 	if err != nil {
 		httpError(w, err)
 		return
 	}
+	// The response was serialized exactly once, when the workload was
+	// first simulated; a cache hit is one Write of those immutable bytes
+	// — zero marshaling, byte-identical by construction.
 	endEncode := tr.StartSpan("encode")
 	defer endEncode()
-	b, err := marshalReport(reps[0])
-	if err != nil {
-		httpError(w, err)
-		return
-	}
 	w.Header().Set("X-Cache", cacheHeader(disps[0]))
 	w.Header().Set("X-Sim-Duration", tr.Dur("simulate").String())
-	writeJSONBytes(w, b)
+	writeJSONBytes(w, vals[0].body)
 }
 
 // cacheHeader renders a cell disposition as the X-Cache header value.
@@ -752,20 +817,28 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	reps, _, err := s.runGrid(ctx, labels, cells)
+	vals, _, err := s.runGrid(ctx, labels, cells)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	// Results are ordered (p2p first, then nccl), mirroring core.Compare;
-	// the old map-keyed body left the order to encoding/json.
-	results := make([]core.MethodReport, len(methods))
+	// the old map-keyed body left the order to encoding/json. Each arm's
+	// report JSON is spliced out of its cached envelope rather than
+	// re-marshaled — json.RawMessage keeps the bytes verbatim, so the
+	// nested reports stay identical to what /v1/simulate serves.
+	results := make([]methodReportWire, len(methods))
 	for i, m := range methods {
-		results[i] = core.MethodReport{Method: m, Report: reps[i]}
+		raw, err := reportRaw(vals[i].body)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		results[i] = methodReportWire{Method: m, Report: raw}
 	}
 	endEncode := tr.StartSpan("encode")
 	defer endEncode()
-	b, err := json.Marshal(CompareResponse{SchemaVersion: SchemaVersion, Results: results})
+	b, err := json.Marshal(compareWire{SchemaVersion: SchemaVersion, Results: results})
 	if err != nil {
 		httpError(w, err)
 		return
@@ -779,6 +852,21 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 type CompareResponse struct {
 	SchemaVersion int                 `json:"schemaVersion"`
 	Results       []core.MethodReport `json:"results"`
+}
+
+// compareWire is the encode-side shape of CompareResponse: the nested
+// report travels as raw cached bytes instead of a re-marshaled struct.
+// Field names and order match CompareResponse exactly, so clients
+// decoding into CompareResponse see an unchanged wire format.
+type compareWire struct {
+	SchemaVersion int                `json:"schemaVersion"`
+	Results       []methodReportWire `json:"results"`
+}
+
+// methodReportWire mirrors core.MethodReport with the report as raw JSON.
+type methodReportWire struct {
+	Method core.Method     `json:"method"`
+	Report json.RawMessage `json:"report"`
 }
 
 // SweepRequest describes a configuration grid. Axes left empty inherit
@@ -962,7 +1050,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i := range grid {
 		labels[i] = fmt.Sprintf("cell[%d] ", i)
 	}
-	reps, disps, err := s.runGrid(ctx, labels, grid)
+	vals, disps, err := s.runGrid(ctx, labels, grid)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -978,12 +1066,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			hits++
 		}
 	}
-	results := make([]json.RawMessage, len(reps))
-	for i, rep := range reps {
-		if results[i], err = marshalReport(rep); err != nil {
-			httpError(w, err)
-			return
-		}
+	// Each cell's record is its cached bytes verbatim — no per-cell
+	// re-marshal; a fully warm sweep serializes nothing per cell.
+	results := make([]json.RawMessage, len(vals))
+	for i, v := range vals {
+		results[i] = json.RawMessage(v.body)
 	}
 	endEncode := tr.StartSpan("encode")
 	defer endEncode()

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -68,8 +69,9 @@ func streamWindowSize(workers int) int {
 	return w
 }
 
-// streamedCell is one resolved cell ready for emission: its marshaled
-// record bytes and cache disposition, or the error that ended it.
+// streamedCell is one resolved cell ready for emission: its record bytes
+// (the immutable cached response — never written through) and cache
+// disposition, or the error that ended it.
 type streamedCell struct {
 	bytes []byte
 	disp  string
@@ -123,35 +125,36 @@ func (a *streamAdmitter) admit(task func()) error {
 	return err
 }
 
-// resolveCell obtains one normalized cell's report through the result
-// cache, the per-fingerprint flight group, and the worker pool — the
-// per-cell core of runGrid, reshaped for callers that handle one cell at
-// a time. It runs on a dedicated (non-pool) goroutine, so waiter cells
-// may park on in-flight leaders without risking pool deadlock, exactly
-// like runGrid's handler-goroutine phase 3.
-func (s *Server) resolveCell(ctx context.Context, label string, wl core.Workload, admit func(func()) error) (*core.Report, string, error) {
+// resolveCell obtains one normalized cell's preserialized response
+// through the result cache, the per-fingerprint flight group, and the
+// worker pool — the per-cell core of runGrid, reshaped for callers that
+// handle one cell at a time. It runs on a dedicated (non-pool)
+// goroutine, so waiter cells may park on in-flight leaders without
+// risking pool deadlock, exactly like runGrid's handler-goroutine
+// phase 3.
+func (s *Server) resolveCell(ctx context.Context, label string, wl core.Workload, admit func(func()) error) (*cached, string, error) {
 	tr := obs.FromContext(ctx)
 	key := wl.Fingerprint()
 	endLookup := tr.StartSpan(label + "cache-lookup")
-	rep, ok := s.cache.Get(key)
+	val, ok := s.cache.Get(key)
 	endLookup()
 	if ok {
-		s.attachProfile(tr, label, rep)
-		return rep, dispHit, nil
+		s.attachProfile(tr, label, val.profile)
+		return val, dispHit, nil
 	}
 	f, leader := s.flights.join(key)
 	if !leader {
-		rep, disp, err := s.awaitFlight(ctx, label, key, f, wl)
+		val, disp, err := s.awaitFlight(ctx, label, key, f, wl)
 		if err != nil {
 			return nil, "", err
 		}
 		if disp == dispCoalesced {
 			s.metrics.addCoalesced()
 		}
-		return rep, disp, nil
+		return val, disp, nil
 	}
 	var (
-		lrep *core.Report
+		lval *cached
 		lerr error
 		done = make(chan struct{})
 	)
@@ -159,8 +162,8 @@ func (s *Server) resolveCell(ctx context.Context, label string, wl core.Workload
 	err := admit(func() {
 		defer close(done)
 		tr.AddSpan(label+"queue-wait", submitted, time.Now())
-		lrep, lerr = s.simulateCell(ctx, label, key, wl)
-		s.flights.complete(key, f, lrep, lerr)
+		lval, lerr = s.simulateCell(ctx, label, key, wl)
+		s.flights.complete(key, f, lval, lerr)
 	})
 	if err != nil {
 		// The submission never happened; the flight must still complete —
@@ -178,7 +181,7 @@ func (s *Server) resolveCell(ctx context.Context, label string, wl core.Workload
 	if lerr != nil {
 		return nil, "", lerr
 	}
-	return lrep, dispMiss, nil
+	return lval, dispMiss, nil
 }
 
 // streamSweep executes the validated sweep in streaming mode. The
@@ -219,13 +222,12 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRe
 				cctx, label = ctx, fmt.Sprintf("cell[%d] ", i)
 			}
 			go func(slot chan streamedCell, cctx context.Context, label string, wl core.Workload) {
-				rep, disp, err := s.resolveCell(cctx, label, wl.Normalize(), admitter.admit)
+				val, disp, err := s.resolveCell(cctx, label, wl.Normalize(), admitter.admit)
 				if err != nil {
 					slot <- streamedCell{err: err}
 					return
 				}
-				b, err := marshalReport(rep)
-				slot <- streamedCell{bytes: b, disp: disp, err: err}
+				slot <- streamedCell{bytes: val.body, disp: disp}
 			}(slot, cctx, label, wl)
 		}
 	}()
@@ -266,7 +268,11 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRe
 			w.Header().Set("Content-Type", contentNDJSON)
 			wrote = true
 		}
-		w.Write(append(c.bytes, '\n'))
+		// Two Writes, not append(c.bytes, '\n'): the record is the shared
+		// cached response, and appending would write into its backing
+		// array — racing other requests serving the same entry.
+		w.Write(c.bytes)
+		io.WriteString(w, "\n")
 		if flusher != nil {
 			flusher.Flush()
 		}

@@ -2,10 +2,12 @@ package train
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cuda"
 	"repro/internal/data"
+	"repro/internal/dnn"
 	"repro/internal/gpu"
 	"repro/internal/memmodel"
 	"repro/internal/profiler"
@@ -164,14 +166,50 @@ func (t *Trainer) planUtilWeight() float64 {
 	return weighted
 }
 
+// scheduleKey identifies one memoized epoch plan. Every field
+// data.NewSchedule consumes joins the key, so a memo hit is exactly the
+// schedule a fresh call would return.
+type scheduleKey struct {
+	images      int64
+	shape       dnn.Shape
+	batch, gpus int
+}
+
+// scheduleMemo caches epoch plans across extrapolations. The warm path
+// re-plans the same (images, shape, batch, gpus) tuple on every request
+// of a cache-hit-dominated workload; the plan is a pure function of the
+// key, so memoizing it is exact. Values are data.Schedule by value —
+// nothing shared, nothing to invalidate.
+var scheduleMemo sync.Map // scheduleKey -> data.Schedule
+
+// memoSchedule returns the epoch plan for the tuple, planning it at most
+// once per process.
+func memoSchedule(images int64, shape dnn.Shape, batch, gpus int) (data.Schedule, error) {
+	key := scheduleKey{images: images, shape: shape, batch: batch, gpus: gpus}
+	if v, ok := scheduleMemo.Load(key); ok {
+		return v.(data.Schedule), nil
+	}
+	sched, err := data.NewSchedule(data.ImageNetSubset(images), shape, batch, gpus)
+	if err != nil {
+		return data.Schedule{}, err
+	}
+	scheduleMemo.Store(key, sched)
+	return sched, nil
+}
+
 // Extrapolate projects the window onto an epoch of the given dataset size
 // and returns the full Result, reproducing the cold path's arithmetic
 // exactly (cold runs call it too — there is one finalization code path).
 // It fails if the epoch would simulate a different number of window
 // iterations than the window holds (an epoch smaller than the simulated
 // window); the caller then needs a freshly compiled window.
+//
+// When no profile scaling is needed (the epoch is exactly the simulated
+// window), the Result shares the window's own Profile instead of cloning
+// it; Results are read-only views in that case, as they always were by
+// convention — nothing in the repo mutates a Result's profile.
 func (w *Window) Extrapolate(images int64) (*Result, error) {
-	sched, err := data.NewSchedule(data.ImageNetSubset(images), w.cfg.Model.InputShape, w.cfg.Batch, w.cfg.GPUs)
+	sched, err := memoSchedule(images, w.cfg.Model.InputShape, w.cfg.Batch, w.cfg.GPUs)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +226,12 @@ func (w *Window) Extrapolate(images int64) (*Result, error) {
 
 	cfg := w.cfg
 	cfg.Images = images
-	prof := w.prof.Clone()
+	// Clone only when the epoch actually scales the window's aggregates;
+	// otherwise the unscaled shared profile is already the answer.
+	prof := w.prof
+	if nsim > 0 && sched.Iterations > int64(nsim) {
+		prof = w.prof.Clone()
+	}
 	res := &Result{
 		Config:     cfg,
 		Iterations: sched.Iterations,
@@ -205,12 +248,15 @@ func (w *Window) Extrapolate(images int64) (*Result, error) {
 	if nsim > 0 && sched.Iterations > int64(nsim) {
 		prof.Scale(float64(sched.Iterations) / float64(nsim))
 	}
-	res.Throughput = float64(sched.Images) / epoch.Seconds()
 	if epoch > 0 {
+		res.Throughput = float64(sched.Images) / epoch.Seconds()
 		res.ComputeUtilization = w.utilWeight * float64(sched.Iterations) / epoch.Seconds()
+		// Guarded like ComputeUtilization above: a zero-duration epoch
+		// would otherwise divide to NaN, which poisons every JSON encoding
+		// of the result (encoding/json rejects NaN).
+		res.SyncPercent = 100 * float64(prof.API(cuda.APIStreamSync).Total) /
+			(float64(epoch) * float64(w.cfg.GPUs))
 	}
-	res.SyncPercent = 100 * float64(prof.API(cuda.APIStreamSync).Total) /
-		(float64(epoch) * float64(w.cfg.GPUs))
 	res.GPUComputeBusy = w.busyFractions(epoch)
 	return res, nil
 }
