@@ -71,6 +71,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/persist"
 	"repro/internal/service"
 )
 
@@ -80,6 +81,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
 		queue     = flag.Int("queue-depth", 0, "admission-queue depth before requests are shed with 429 (0 = one slot per worker)")
 		cache     = flag.Int("cache", 0, "result-cache capacity in reports (0 = default 1024)")
+		cacheDir  = flag.String("cache-dir", "", "persist cached responses to this directory: load on boot, write-through on miss (empty = memory only)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-request simulation timeout")
 		reqTO     = flag.Duration("request-timeout", 0, "total per-request deadline incl. queueing; expiry while queued sheds with 503 (0 = -timeout)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
@@ -93,6 +95,18 @@ func main() {
 	if *accessLog {
 		logSink = os.Stderr
 	}
+	var store *persist.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = persist.Open(*cacheDir, service.SchemaVersion, 0)
+		if err != nil {
+			fatal(err)
+		}
+		// Close after the server drains: write-through continues until the
+		// last in-flight simulation stores its result, and Close flushes
+		// the queue so a graceful shutdown loses nothing.
+		defer store.Close()
+	}
 	svc := service.NewServer(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -101,8 +115,13 @@ func main() {
 		RequestTimeout: *reqTO,
 		TraceStore:     *traces,
 		AccessLog:      logSink,
+		Persist:        store,
 	})
 	defer svc.Close()
+	if store != nil {
+		st := store.Stats()
+		log.Printf("dgxsimd: cache snapshots at %s (loaded %d, skipped %d)", store.Dir(), st.Loaded, st.Skipped)
+	}
 
 	handler := svc.Handler()
 	if *pprofFlag {

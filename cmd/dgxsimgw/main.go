@@ -1,0 +1,112 @@
+// Command dgxsimgw fronts a replicated dgxsimd fleet with cache-affinity
+// routing (see internal/gateway). It normalizes each posted workload,
+// computes its fingerprint through the same internal/core path the
+// replicas key their caches with, and consistent-hashes it across the
+// replica set — so repeats of a workload always land on the replica
+// whose cache (memory, and disk when the replicas run -cache-dir) is
+// already warm for it.
+//
+// Usage:
+//
+//	dgxsimd -addr :8081 -cache-dir /var/lib/dgxsim/a &
+//	dgxsimd -addr :8082 -cache-dir /var/lib/dgxsim/b &
+//	dgxsimgw -addr :8080 -replicas http://localhost:8081,http://localhost:8082
+//
+//	curl -s localhost:8080/v1/simulate -d '{"Model":"resnet","GPUs":4,"Batch":32}'
+//	curl -s localhost:8080/metrics          # gateway routing + replica health
+//	curl -s localhost:8080/healthz          # ok while >=1 replica is up
+//
+// Replicas are health-checked every -health-interval; a replica that
+// sheds (429/503 + Retry-After) or is unreachable fails over once to the
+// next ring member, and every other response — NDJSON sweep streams,
+// error envelopes, traces — passes through verbatim. Each response
+// carries X-Gw-Replica naming the replica that served it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		replicas = flag.String("replicas", "", "comma-separated dgxsimd base URLs (required)")
+		interval = flag.Duration("health-interval", time.Second, "replica /healthz probe period")
+		vnodes   = flag.Int("vnodes", 0, "consistent-hash ring points per replica (0 = 64)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			urls = append(urls, r)
+		}
+	}
+	if len(urls) == 0 {
+		fatal(errors.New("-replicas is required (comma-separated dgxsimd base URLs)"))
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Replicas:       urls,
+		VNodes:         *vnodes,
+		HealthInterval: *interval,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer gw.Close()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: gw.Handler(),
+		// Bound inbound header/body reads; response writes stay unbounded
+		// because proxied NDJSON streams legitimately run as long as the
+		// replica's own simulation timeout.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("dgxsimgw: listening on %s, routing %d replicas", *addr, len(urls))
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("dgxsimgw: shutting down (draining up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("dgxsimgw: forced shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dgxsimgw:", err)
+	os.Exit(1)
+}

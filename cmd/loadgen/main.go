@@ -13,11 +13,18 @@
 //	dgxsimd -addr :8080 -workers 2 -queue-depth 2 &
 //	loadgen -addr http://localhost:8080 -c 40 -n 200
 //	loadgen -addr http://localhost:8080 -c 40 -n 200 -distinct
+//	loadgen -addr http://localhost:8081,http://localhost:8082 -c 40 -n 400
 //
 // By default every request carries the same workload, so the flood also
 // exercises request coalescing (expect one miss, a burst of coalesced,
 // then hits). -distinct gives each request its own batch size instead,
 // forcing every one through admission control.
+//
+// -addr accepts a comma-separated target list; requests round-robin
+// across the targets by request index. Pointing the list at the replicas
+// directly measures raw aggregate capacity (each replica warms its own
+// cache); pointing it at a single dgxsimgw measures the fleet behind
+// affinity routing — the comparison EXPERIMENTS.md records.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -42,16 +50,37 @@ type result struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8080", "dgxsimd base URL")
+		addr     = flag.String("addr", "http://localhost:8080", "target base URL(s), comma-separated (dgxsimd replicas or a dgxsimgw)")
 		conc     = flag.Int("c", 40, "concurrent clients")
 		total    = flag.Int("n", 200, "total requests")
-		model    = flag.String("model", "alexnet", "workload model")
+		model    = flag.String("model", "alexnet", "workload model(s), comma-separated (requests cycle through them by index)")
 		gpus     = flag.Int("gpus", 4, "workload GPU count")
 		batch    = flag.Int("batch", 32, "workload per-GPU batch size")
 		distinct = flag.Bool("distinct", false, "give every request a distinct workload (defeats cache and coalescing)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
 	)
 	flag.Parse()
+
+	var targets []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			targets = append(targets, strings.TrimRight(a, "/"))
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -addr needs at least one target")
+		os.Exit(2)
+	}
+	var models []string
+	for _, m := range strings.Split(*model, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			models = append(models, m)
+		}
+	}
+	if len(models) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -model needs at least one model")
+		os.Exit(2)
+	}
 
 	client := &http.Client{Timeout: *timeout}
 	results := make([]result, *total)
@@ -80,7 +109,7 @@ func main() {
 					b = *batch + (i>>3)%32
 					g = 1 + i%8
 				}
-				results[i] = shoot(client, *addr, *model, g, b)
+				results[i] = shoot(client, targets[i%len(targets)], models[i%len(models)], g, b)
 			}
 		}()
 	}

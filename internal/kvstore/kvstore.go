@@ -6,6 +6,7 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -51,9 +52,18 @@ func New(method Method, rt *cuda.Runtime, devs []topology.NodeID) (Backend, erro
 	return NewWithNCCL(method, rt, devs, nccl.DefaultConfig())
 }
 
+// ErrNoDevices is returned when a backend is requested over an empty
+// device slice. Every method needs at least one device (the nccl root is
+// devs[0]), so the check lives here — once, ahead of any indexing —
+// rather than scattered across the backends' engines.
+var ErrNoDevices = errors.New("kvstore: at least one device is required")
+
 // NewWithNCCL is New with an explicit NCCL configuration (algorithm
 // selection, overheads) for the nccl method; the p2p method ignores it.
 func NewWithNCCL(method Method, rt *cuda.Runtime, devs []topology.NodeID, ncfg nccl.Config) (Backend, error) {
+	if len(devs) == 0 {
+		return nil, ErrNoDevices
+	}
 	switch method {
 	case MethodP2P:
 		eng, err := p2p.New(rt, devs)
@@ -68,9 +78,6 @@ func NewWithNCCL(method Method, rt *cuda.Runtime, devs []topology.NodeID, ncfg n
 		}
 		return &ncclBackend{comm: comm, root: devs[0]}, nil
 	case MethodLocal:
-		if len(devs) == 0 {
-			return nil, fmt.Errorf("kvstore: local method needs at least one device")
-		}
 		return &localBackend{rt: rt, devs: append([]topology.NodeID(nil), devs...)}, nil
 	}
 	return nil, fmt.Errorf("kvstore: unknown method %q", method)

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -183,5 +184,25 @@ func TestLocalKVStoreBasics(t *testing.T) {
 	pull, err := b.PullWeights(profiler.StageWU, "w", units.MB, push)
 	if err != nil || pull <= push {
 		t.Fatalf("pull: %v, %v", pull, err)
+	}
+}
+
+// TestEmptyDevicesRejected: every method must refuse an empty device
+// slice with the typed error, up front — the nccl path used to index
+// devs[0] for its root before any engine could object.
+func TestEmptyDevicesRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := interconnect.New(eng, topology.DGX1())
+	rt, err := cuda.NewRuntime(fab, gpu.V100(), []topology.NodeID{0}, cuda.DefaultCosts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodP2P, MethodNCCL, MethodLocal, Method("bogus")} {
+		for _, devs := range [][]topology.NodeID{nil, {}} {
+			b, err := New(m, rt, devs)
+			if b != nil || !errors.Is(err, ErrNoDevices) {
+				t.Errorf("New(%v, %v) = %v, %v; want nil, ErrNoDevices", m, devs, b, err)
+			}
+		}
 	}
 }

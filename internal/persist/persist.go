@@ -1,0 +1,334 @@
+// Package persist is the disk-backed snapshot layer under the service's
+// result cache: every preserialized response body the daemon caches is
+// also written to a content-addressed file (one file per workload
+// fingerprint), so a restarted dgxsimd comes back up warm instead of
+// re-simulating its entire working set. This is the first half of the
+// "millions of users" story — the second is cmd/dgxsimgw, which routes
+// repeated fingerprints to the replica whose disk already holds them.
+//
+// Format. Each entry lives in <dir>/<fingerprint>.snap:
+//
+//	offset  size  field
+//	0       8     magic "DGXSNAP1"
+//	8       4     schemaVersion (little-endian uint32; the service wire
+//	              format the body speaks, not this file format's version —
+//	              the file format is pinned by the magic)
+//	12      4     key length K
+//	16      4     body length B
+//	20      K     key (the workload fingerprint, hex)
+//	20+K    B     body (the exact response bytes the cache serves)
+//	20+K+B  4     CRC-32 (IEEE) of everything above
+//
+// Durability is crash-consistent, not transactional: writes go to a
+// private temp file in the same directory and are renamed into place, so
+// a reader never observes a half-written entry under its final name. A
+// crash can leave a stale *.tmp file or a truncated rename target from a
+// previous unclean filesystem; Load treats anything that fails the magic,
+// length, schema-version, key, or CRC checks as absent — it is skipped
+// (and counted), never served, and the next write of that fingerprint
+// simply replaces it.
+//
+// Writes are asynchronous behind a bounded queue drained by one
+// background goroutine: Put never blocks the simulation path, and when
+// the queue is full the entry is dropped (and counted) rather than
+// applying backpressure — the cache entry is still served from memory,
+// and a dropped snapshot only costs a re-simulation after the next
+// restart. Close drains the queue, so a graceful shutdown persists
+// everything accepted.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// magic identifies (and versions) the snapshot file format.
+const magic = "DGXSNAP1"
+
+// suffix is the entry-file extension; anything else in the directory is
+// ignored by Load (temp files use tmpPrefix and are cleaned up).
+const suffix = ".snap"
+
+// tmpPrefix marks in-flight writes. Load removes leftovers: they are, by
+// construction, entries whose rename never happened.
+const tmpPrefix = ".tmp-"
+
+// headerSize is the fixed-size prefix before the key bytes.
+const headerSize = len(magic) + 3*4
+
+// defaultQueueDepth bounds the background write queue when Open is given
+// a non-positive depth: enough to absorb a burst of a whole sweep's
+// misses without ever blocking a worker.
+const defaultQueueDepth = 256
+
+// Stats counts what the store has done since Open. Loaded/Skipped cover
+// the boot-time Load; Writes/WriteErrors/Dropped cover the write-through
+// path.
+type Stats struct {
+	// Loaded entries served into the cache by Load.
+	Loaded uint64
+	// Skipped files Load rejected: truncated, corrupt, foreign schema
+	// version, or mismatched key.
+	Skipped uint64
+	// Writes completed (tmp written, fsynced, renamed).
+	Writes uint64
+	// WriteErrors: writes attempted but failed (disk full, permissions).
+	WriteErrors uint64
+	// Dropped entries refused because the write queue was full.
+	Dropped uint64
+}
+
+// entry is one queued write; a non-nil flush marks a Flush sentinel
+// instead (closed by the drainer when every prior entry is handled).
+type entry struct {
+	key   string
+	body  []byte
+	flush chan struct{}
+}
+
+// Store persists cache entries under one directory. Safe for concurrent
+// use; create with Open and release with Close.
+type Store struct {
+	dir           string
+	schemaVersion uint32
+
+	queue chan entry
+	wg    sync.WaitGroup
+
+	// closeMu serializes channel sends (readers) against the one close
+	// (writer): Put and Flush hold it shared while they touch the queue,
+	// so Close cannot close the channel under a send. statsMu is separate
+	// because the drainer updates stats while senders may be blocked.
+	closeMu sync.RWMutex
+	closed  bool
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Open prepares a store rooted at dir (created if absent), accepting
+// only entries of the given service schema version. queueDepth bounds
+// the asynchronous write queue (<= 0 selects the default 256).
+func Open(dir string, schemaVersion int, queueDepth int) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("persist: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if queueDepth <= 0 {
+		queueDepth = defaultQueueDepth
+	}
+	s := &Store{
+		dir:           dir,
+		schemaVersion: uint32(schemaVersion),
+		queue:         make(chan entry, queueDepth),
+	}
+	s.wg.Add(1)
+	go s.drain()
+	return s, nil
+}
+
+// Dir returns the snapshot directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Load walks the snapshot directory and hands every valid entry to fn
+// (the body slice is owned by the callee). Invalid files — truncated,
+// corrupt, wrong schema version, key/filename mismatch — are skipped and
+// counted, never fatal: a crash mid-write must not keep the daemon from
+// booting. Leftover temp files are deleted. The error reports only a
+// directory that cannot be read at all.
+func (s *Store) Load(fn func(key string, body []byte)) error {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			// An interrupted write; its rename never happened.
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if de.IsDir() || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		key, body, err := readEntry(filepath.Join(s.dir, name), s.schemaVersion)
+		if err != nil {
+			s.statsMu.Lock()
+			s.stats.Skipped++
+			s.statsMu.Unlock()
+			continue
+		}
+		s.statsMu.Lock()
+		s.stats.Loaded++
+		s.statsMu.Unlock()
+		fn(key, body)
+	}
+	return nil
+}
+
+// Put schedules one entry for persistence. It never blocks: when the
+// write queue is full the entry is dropped and counted (the in-memory
+// cache still serves it; only restart warmth is lost). The store copies
+// nothing — body must be immutable, which the service's cached bodies
+// are by contract.
+func (s *Store) Put(key string, body []byte) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.queue <- entry{key: key, body: body}:
+	default:
+		s.statsMu.Lock()
+		s.stats.Dropped++
+		s.statsMu.Unlock()
+	}
+}
+
+// Flush blocks until every entry accepted before the call has been
+// written (or failed). It exists for tests and orderly shutdown.
+func (s *Store) Flush() {
+	done := make(chan struct{})
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return
+	}
+	// A sentinel rides the queue; when the drainer reaches it, every
+	// prior entry has been handled. The drainer never takes closeMu, so
+	// blocking here (full queue) cannot deadlock.
+	s.queue <- entry{flush: done}
+	s.closeMu.RUnlock()
+	<-done
+}
+
+// Close drains the queue and stops the background writer. Put becomes a
+// no-op afterwards.
+func (s *Store) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.closeMu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// drain is the background writer: one goroutine, so entry writes never
+// contend with each other and shutdown is a channel close away.
+func (s *Store) drain() {
+	defer s.wg.Done()
+	for e := range s.queue {
+		if e.flush != nil {
+			close(e.flush)
+			continue
+		}
+		err := writeEntry(s.dir, e.key, e.body, s.schemaVersion)
+		s.statsMu.Lock()
+		if err != nil {
+			s.stats.WriteErrors++
+		} else {
+			s.stats.Writes++
+		}
+		s.statsMu.Unlock()
+	}
+}
+
+// encodeEntry renders the on-disk bytes for one entry.
+func encodeEntry(key string, body []byte, schemaVersion uint32) []byte {
+	buf := make([]byte, 0, headerSize+len(key)+len(body)+4)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, schemaVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, key...)
+	buf = append(buf, body...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// writeEntry persists one entry atomically: temp file in the same
+// directory, fsync, rename over the final name. Readers (a concurrent
+// Load in another process, or the next boot) either see the whole entry
+// or none of it.
+func writeEntry(dir, key string, body []byte, schemaVersion uint32) error {
+	f, err := os.CreateTemp(dir, tmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(encodeEntry(key, body, schemaVersion)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, key+suffix)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// readEntry parses and verifies one snapshot file. Any deviation —
+// short file, bad magic, foreign schema version, inconsistent lengths,
+// key/filename mismatch, CRC failure — is an error the caller treats as
+// "entry absent".
+func readEntry(path string, schemaVersion uint32) (string, []byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(raw) < headerSize+4 {
+		return "", nil, fmt.Errorf("persist: %s: truncated header", path)
+	}
+	if string(raw[:len(magic)]) != magic {
+		return "", nil, fmt.Errorf("persist: %s: bad magic", path)
+	}
+	sv := binary.LittleEndian.Uint32(raw[len(magic):])
+	keyLen := binary.LittleEndian.Uint32(raw[len(magic)+4:])
+	bodyLen := binary.LittleEndian.Uint32(raw[len(magic)+8:])
+	if sv != schemaVersion {
+		return "", nil, fmt.Errorf("persist: %s: schema version %d, want %d", path, sv, schemaVersion)
+	}
+	want := headerSize + int(keyLen) + int(bodyLen) + 4
+	if int(keyLen) > len(raw) || int(bodyLen) > len(raw) || len(raw) != want {
+		return "", nil, fmt.Errorf("persist: %s: truncated entry (%d bytes, want %d)", path, len(raw), want)
+	}
+	payload := raw[:want-4]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(raw[want-4:]) {
+		return "", nil, fmt.Errorf("persist: %s: checksum mismatch", path)
+	}
+	key := string(raw[headerSize : headerSize+int(keyLen)])
+	if filepath.Base(path) != key+suffix {
+		return "", nil, fmt.Errorf("persist: %s: stored key %q does not match filename", path, key)
+	}
+	body := raw[headerSize+int(keyLen) : want-4]
+	return key, body, nil
+}

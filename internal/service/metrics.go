@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 )
 
 // latencyWindow bounds the per-endpoint latency reservoir: percentiles
@@ -183,8 +184,11 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 
 // render writes the exposition text: request counts, error counts,
 // in-flight gauges, latency percentiles and cumulative histograms per
-// endpoint, plus the cache and pool gauges.
-func (m *metrics) render(cs CacheStats, ps PoolStats) string {
+// endpoint, plus the cache and pool gauges. pst carries the snapshot
+// store's counters when persistence is configured (nil omits the series
+// — their absence distinguishes "no -cache-dir" from "nothing persisted
+// yet").
+func (m *metrics) render(cs CacheStats, ps PoolStats, pst *persist.Stats) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -224,6 +228,14 @@ func (m *metrics) render(cs CacheStats, ps PoolStats) string {
 	fmt.Fprintf(&b, "dgxsimd_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(&b, "dgxsimd_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(&b, "dgxsimd_cache_evictions_total %d\n", cs.Evictions)
+
+	if pst != nil {
+		fmt.Fprintf(&b, "dgxsimd_persist_loaded_total %d\n", pst.Loaded)
+		fmt.Fprintf(&b, "dgxsimd_persist_skipped_total %d\n", pst.Skipped)
+		fmt.Fprintf(&b, "dgxsimd_persist_writes_total %d\n", pst.Writes)
+		fmt.Fprintf(&b, "dgxsimd_persist_write_errors_total %d\n", pst.WriteErrors)
+		fmt.Fprintf(&b, "dgxsimd_persist_dropped_total %d\n", pst.Dropped)
+	}
 
 	fmt.Fprintf(&b, "dgxsimd_shed_total %d\n", m.shed)
 	fmt.Fprintf(&b, "dgxsimd_coalesced_total %d\n", m.coalesced)

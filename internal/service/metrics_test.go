@@ -75,7 +75,7 @@ func TestLatencyWindowWrapAroundKeepsRecentOnly(t *testing.T) {
 	for i := 0; i < latencyWindow; i++ {
 		m.observe("/x", 100*time.Millisecond, false)
 	}
-	out := m.render(CacheStats{}, PoolStats{})
+	out := m.render(CacheStats{}, PoolStats{}, nil)
 	for _, q := range []string{"0.5", "0.9", "0.99"} {
 		got := metricLine(t, out, `dgxsimd_latency_seconds{path="/x",quantile="`+q+`"} `)
 		if got != "0.100000" {
@@ -91,7 +91,7 @@ func TestLatencyWindowWrapAroundKeepsRecentOnly(t *testing.T) {
 	for i := 0; i < latencyWindow/2; i++ {
 		m2.observe("/y", 100*time.Millisecond, false)
 	}
-	out2 := m2.render(CacheStats{}, PoolStats{})
+	out2 := m2.render(CacheStats{}, PoolStats{}, nil)
 	if got := metricLine(t, out2, `dgxsimd_latency_seconds{path="/y",quantile="0.5"} `); got != "0.001000" {
 		t.Errorf("p50 mid-wrap = %s, want 0.001000 (half the window is still old)", got)
 	}
@@ -125,14 +125,14 @@ func TestMetricsObserveRenderConcurrent(t *testing.T) {
 			case <-stop:
 				return
 			default:
-				_ = m.render(CacheStats{}, PoolStats{})
+				_ = m.render(CacheStats{}, PoolStats{}, nil)
 			}
 		}
 	}()
 	observers.Wait()
 	close(stop)
 	renderer.Wait()
-	out := m.render(CacheStats{}, PoolStats{})
+	out := m.render(CacheStats{}, PoolStats{}, nil)
 	if got := metricLine(t, out, `dgxsimd_requests_total{path="/p0"} `); got != fmt.Sprint(4*latencyWindow) {
 		t.Errorf("requests_total = %s, want %d", got, 4*latencyWindow)
 	}
@@ -143,14 +143,14 @@ func TestMetricsObserveRenderConcurrent(t *testing.T) {
 func TestMetricsHistogramAndInflight(t *testing.T) {
 	m := newMetrics()
 	m.startRequest("/x")
-	out := m.render(CacheStats{}, PoolStats{})
+	out := m.render(CacheStats{}, PoolStats{}, nil)
 	if got := metricLine(t, out, `dgxsimd_inflight{path="/x"} `); got != "1" {
 		t.Errorf("inflight during request = %s, want 1", got)
 	}
 	m.observe("/x", 3*time.Millisecond, false)
 	m.startRequest("/x")
 	m.observe("/x", 700*time.Millisecond, false)
-	out = m.render(CacheStats{}, PoolStats{Panics: 2, QueueWait: 1500 * time.Millisecond})
+	out = m.render(CacheStats{}, PoolStats{Panics: 2, QueueWait: 1500 * time.Millisecond}, nil)
 
 	cases := []struct{ prefix, want string }{
 		{`dgxsimd_inflight{path="/x"} `, "0"},

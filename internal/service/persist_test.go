@@ -1,0 +1,136 @@
+// Service-level persistence tests: the restart contract. A daemon given
+// a -cache-dir must come back up serving byte-identical cached bodies as
+// hits (no recompilation), skip snapshot entries a crash corrupted, and
+// keep traced entries memory-only.
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// newPersistentServer stands up a server whose cache is backed by a
+// snapshot store at dir, mimicking dgxsimd -cache-dir.
+func newPersistentServer(t *testing.T, dir string) (*Server, string, *persist.Store) {
+	t.Helper()
+	store, err := persist.Open(dir, SchemaVersion, 0)
+	if err != nil {
+		t.Fatalf("persist.Open: %v", err)
+	}
+	svc, ts := newTestServer(t, Config{Workers: 2, Persist: store})
+	t.Cleanup(func() { store.Close() })
+	return svc, ts.URL, store
+}
+
+var persistWorkload = core.Workload{Model: "lenet", GPUs: 2, Batch: 16, Images: 4096}
+
+// TestPersistRestartServesWarmHit is the round-trip pin behind the
+// replication proof: simulate once, restart onto the same directory, and
+// the first request is already a byte-identical cache hit — nothing is
+// recompiled or re-simulated.
+func TestPersistRestartServesWarmHit(t *testing.T) {
+	dir := t.TempDir()
+
+	_, url1, store1 := newPersistentServer(t, dir)
+	resp, body1 := post(t, url1+"/v1/simulate", persistWorkload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first simulate: status %d: %s", resp.StatusCode, body1)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first simulate X-Cache = %q, want MISS", got)
+	}
+	store1.Flush()
+	if st := store1.Stats(); st.Writes != 1 {
+		t.Fatalf("store stats after one miss = %+v, want 1 write", st)
+	}
+	store1.Close()
+
+	// "Restart": a brand-new server over the same directory.
+	svc2, url2, store2 := newPersistentServer(t, dir)
+	if st := store2.Stats(); st.Loaded != 1 || st.Skipped != 0 {
+		t.Fatalf("reload stats = %+v, want 1 loaded / 0 skipped", st)
+	}
+	resp2, body2 := post(t, url2+"/v1/simulate", persistWorkload)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart simulate: status %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("post-restart X-Cache = %q, want HIT (cache should be warm from disk)", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cached body differs across restart:\n pre: %s\npost: %s", body1, body2)
+	}
+	if st := svc2.CacheStats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("post-restart cache stats = %+v, want a pure hit", st)
+	}
+}
+
+// TestPersistRestartSkipsCorruptEntry: a crash mid-write (truncated
+// snapshot) must cost exactly that entry — the server boots, re-simulates
+// it, and the fresh body matches what the pre-crash server served.
+func TestPersistRestartSkipsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+
+	_, url1, store1 := newPersistentServer(t, dir)
+	_, body1 := post(t, url1+"/v1/simulate", persistWorkload)
+	store1.Flush()
+	store1.Close()
+
+	// Truncate the one snapshot mid-body, like a crash would.
+	des, err := os.ReadDir(dir)
+	if err != nil || len(des) != 1 {
+		t.Fatalf("snapshot dir: %v entries, err %v", len(des), err)
+	}
+	path := filepath.Join(dir, des[0].Name())
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, url2, store2 := newPersistentServer(t, dir)
+	if st := store2.Stats(); st.Loaded != 0 || st.Skipped != 1 {
+		t.Fatalf("reload stats = %+v, want 0 loaded / 1 skipped", st)
+	}
+	resp2, body2 := post(t, url2+"/v1/simulate", persistWorkload)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-crash simulate: status %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("post-crash X-Cache = %q, want MISS (corrupt entry must not be served)", got)
+	}
+	// The simulator is deterministic: the re-simulated body must be
+	// byte-identical to the pre-crash one.
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("re-simulated body differs from pre-crash body")
+	}
+}
+
+// TestPersistSkipsTracedEntries: traced runs retain a profiler timeline
+// that cannot ride a snapshot, so they stay memory-only.
+func TestPersistSkipsTracedEntries(t *testing.T) {
+	dir := t.TempDir()
+	_, url, store := newPersistentServer(t, dir)
+	resp, body := post(t, url+"/v1/simulate", map[string]any{
+		"Model": "lenet", "GPUs": 2, "Batch": 16, "Images": int64(4096), "trace": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced simulate: status %d: %s", resp.StatusCode, body)
+	}
+	store.Flush()
+	if st := store.Stats(); st.Writes != 0 {
+		t.Fatalf("store stats after traced run = %+v, want 0 writes", st)
+	}
+	des, _ := os.ReadDir(dir)
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".snap") {
+			t.Fatalf("traced entry was snapshotted: %s", de.Name())
+		}
+	}
+}

@@ -72,6 +72,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/profiler"
 )
 
@@ -99,6 +100,16 @@ type Config struct {
 	// request id, method, path, status, cache disposition, queue depth,
 	// and latency. Nil disables access logging.
 	AccessLog io.Writer
+	// Persist, when non-nil, snapshots cached response bodies to disk:
+	// NewServer pre-warms the result cache from the store, and every
+	// fresh simulation's bytes are written through to it (asynchronously,
+	// bounded — see internal/persist), so a restarted daemon serves its
+	// working set without re-simulating. Traced entries (which retain a
+	// simulator profile for /v1/trace) are not persisted: a snapshot
+	// cannot carry the profile, and serving a traced body without its
+	// timeline would silently break the trace contract. The caller owns
+	// the store's lifecycle (Close after the server stops serving).
+	Persist *persist.Store
 }
 
 // Server implements the simulation service. Create one with NewServer,
@@ -133,6 +144,17 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
+	}
+	if cfg.Persist != nil {
+		// Boot-time warm-up: every valid snapshot becomes a live cache
+		// entry, byte-identical to the response that produced it. A Load
+		// error means the directory itself was unreadable — Open already
+		// vetted it, so this is best-effort by design (the daemon must
+		// boot cold rather than not at all); corrupt entries are skipped
+		// and counted inside the store.
+		_ = cfg.Persist.Load(func(key string, body []byte) {
+			s.cache.Put(key, &cached{body: body})
+		})
 	}
 	// The mux is registered from the apiEndpoints table (index.go) — the
 	// same table GET /v1/ advertises, so routing and discovery cannot
@@ -645,6 +667,12 @@ func (s *Server) simulateCell(ctx context.Context, label, key string, w core.Wor
 		return nil, err
 	}
 	s.cache.Put(key, val)
+	// Write-through to the snapshot store: asynchronous and bounded, so
+	// the miss path never waits on disk. Traced entries stay memory-only
+	// (their profile cannot ride a snapshot).
+	if s.cfg.Persist != nil && val.profile == nil {
+		s.cfg.Persist.Put(key, val.body)
+	}
 	s.attachProfile(tr, label, val.profile)
 	return val, nil
 }
@@ -1189,5 +1217,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, s.metrics.render(s.cache.Stats(), s.pool.Stats()))
+	var pst *persist.Stats
+	if s.cfg.Persist != nil {
+		st := s.cfg.Persist.Stats()
+		pst = &st
+	}
+	fmt.Fprint(w, s.metrics.render(s.cache.Stats(), s.pool.Stats(), pst))
 }

@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -39,18 +41,42 @@ const streamSpanCells = 64
 
 // wantsNDJSON reports whether the request negotiated the streaming mode:
 // any member of the Accept header with the application/x-ndjson media
-// type. Buffered JSON stays the default for every other Accept value
+// type and a nonzero quality weight. RFC 9110 §12.4.2 defines q=0 as
+// "not acceptable" — a client sending application/x-ndjson;q=0 is
+// explicitly declining the streaming representation, not requesting it.
+// Buffered JSON stays the default for every other Accept value
 // (including */*, which existing clients send implicitly).
 func wantsNDJSON(r *http.Request) bool {
 	for _, accept := range r.Header.Values("Accept") {
 		for _, member := range strings.Split(accept, ",") {
-			mt, _, _ := strings.Cut(strings.TrimSpace(member), ";")
-			if strings.TrimSpace(mt) == contentNDJSON {
+			mt, params, _ := strings.Cut(strings.TrimSpace(member), ";")
+			if strings.TrimSpace(mt) == contentNDJSON && acceptQ(params) > 0 {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// acceptQ extracts an Accept member's quality weight from its parameter
+// list (everything after the media type's first ";"). Per RFC 9110
+// §12.4.2 a qvalue runs 0 to 1 with at most three decimals and defaults
+// to 1 when absent; a malformed or out-of-range value also falls back to
+// 1 (lenient, like the rest of the header's parsing — only an explicit,
+// well-formed q=0 declines).
+func acceptQ(params string) float64 {
+	for _, p := range strings.Split(params, ";") {
+		k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+		if !ok || !strings.EqualFold(strings.TrimSpace(k), "q") {
+			continue
+		}
+		q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || q < 0 || q > 1 {
+			return 1
+		}
+		return q
+	}
+	return 1
 }
 
 // streamWindowSize is the reorder window: how many cells may be in
@@ -302,13 +328,24 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRe
 	s.metrics.addStream(count)
 }
 
-// writeNDJSON emits one NDJSON record and flushes it.
+// writeNDJSON emits one NDJSON record and flushes it. A record that
+// fails to marshal must not vanish silently — writeNDJSON carries the
+// stream's summary and error records, and dropping one would end a 200
+// stream with neither, leaving the client unable to tell a complete
+// stream from a severed one. Instead the failure is logged and an
+// in-band internal-error envelope takes the record's line, so the
+// summary-or-error trailer invariant holds on every path.
 func writeNDJSON(w http.ResponseWriter, flusher http.Flusher, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		return
+		log.Printf("service: NDJSON record %T failed to marshal: %v", v, err)
+		b, _ = json.Marshal(ErrorEnvelope{Error: ErrorDetail{
+			Code:    CodeInternal,
+			Message: fmt.Sprintf("encode stream record: %v", err),
+		}})
 	}
-	w.Write(append(b, '\n'))
+	w.Write(b)
+	io.WriteString(w, "\n")
 	if flusher != nil {
 		flusher.Flush()
 	}

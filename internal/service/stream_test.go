@@ -4,7 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"math"
 	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -74,6 +77,22 @@ func TestWantsNDJSON(t *testing.T) {
 		{"application/json", false},
 		{"*/*", false},
 		{"", false},
+		// RFC 9110 §12.4.2: q=0 means "not acceptable" — the client is
+		// explicitly declining the streamed representation.
+		{"application/x-ndjson;q=0", false},
+		{"application/x-ndjson; q=0", false},
+		{"application/x-ndjson;q=0.000", false},
+		{"application/x-ndjson;Q=0", false},
+		{"application/json;q=0.5, application/x-ndjson;q=0", false},
+		// A zero-weighted member does not veto a positive one elsewhere.
+		{"application/x-ndjson;q=0, application/x-ndjson;q=0.1", true},
+		{"application/x-ndjson;q=0.001", true},
+		// Other parameters are not q; malformed or out-of-range q falls
+		// back lenient (weight 1), like the rest of the header's parsing.
+		{"application/x-ndjson;charset=utf-8", true},
+		{"application/x-ndjson;q=banana", true},
+		{"application/x-ndjson;q=7", true},
+		{"application/x-ndjson;q=", true},
 	} {
 		r, _ := http.NewRequest(http.MethodPost, "/v1/sweep", nil)
 		if tc.accept != "" {
@@ -309,4 +328,38 @@ func mustJSON(t *testing.T, v any) []byte {
 		t.Fatal(err)
 	}
 	return b
+}
+
+// TestWriteNDJSONMarshalFailure: a record that cannot marshal must not
+// vanish — the line carries an in-band internal-error envelope instead,
+// so a stream never ends with neither summary nor error.
+func TestWriteNDJSONMarshalFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeNDJSON(rec, nil, map[string]any{"bad": math.NaN()})
+
+	line := rec.Body.String()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("record is not newline-terminated: %q", line)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal([]byte(line), &env); err != nil {
+		t.Fatalf("replacement record is not valid JSON: %q: %v", line, err)
+	}
+	if env.Error.Code != CodeInternal {
+		t.Fatalf("replacement code = %q, want %q", env.Error.Code, CodeInternal)
+	}
+	if !strings.Contains(env.Error.Message, "encode stream record") {
+		t.Fatalf("replacement message opaque: %q", env.Error.Message)
+	}
+}
+
+// TestWriteNDJSONSummaryAlwaysPresent: the normal path still emits the
+// record itself, newline-terminated, exactly once.
+func TestWriteNDJSONSummaryAlwaysPresent(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeNDJSON(rec, nil, SweepSummary{SchemaVersion: SchemaVersion, Summary: SweepSummaryBody{Count: 3}})
+	var s SweepSummary
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil || s.Summary.Count != 3 {
+		t.Fatalf("summary record mangled: %q (%v)", rec.Body.String(), err)
+	}
 }

@@ -190,4 +190,101 @@ grep -q 'dgxsimd_shed_total [1-9]' <<<"$SHED_METRICS" \
 shed_cleanup
 echo "smoke: shed-path probe OK"
 
+echo "smoke: gateway probe (2 replicas + dgxsimgw: affinity, then failover)"
+GW_BIN="$(dirname "$BIN")/dgxsimgw"
+go build -o "$GW_BIN" ./cmd/dgxsimgw
+R1_ADDR="${SMOKE_R1_ADDR:-127.0.0.1:18082}"
+R2_ADDR="${SMOKE_R2_ADDR:-127.0.0.1:18083}"
+GW_ADDR="${SMOKE_GW_ADDR:-127.0.0.1:18084}"
+GW_BASE="http://$GW_ADDR"
+GW_LOG="$(mktemp)"
+R1_LOG="$(mktemp)"
+R2_LOG="$(mktemp)"
+"$BIN" -addr "$R1_ADDR" 2>"$R1_LOG" &
+R1_PID=$!
+"$BIN" -addr "$R2_ADDR" 2>"$R2_LOG" &
+R2_PID=$!
+# Both replicas must be serving before the gateway boots: its first
+# health round is synchronous, and racing it would start the probe
+# cycle with a replica spuriously down.
+for ADDR_UP in "$R1_ADDR" "$R2_ADDR"; do
+    for i in $(seq 1 50); do
+        curl -fsS "http://$ADDR_UP/healthz" >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+done
+# A long probe interval keeps the failover assertion deterministic: the
+# post-kill request must hit the dead owner (transport failure -> retry
+# on the survivor), not find it already probed out of the ring.
+"$GW_BIN" -addr "$GW_ADDR" -replicas "http://$R1_ADDR,http://$R2_ADDR" -health-interval 30s 2>"$GW_LOG" &
+GW_PID=$!
+gw_cleanup() {
+    kill "$GW_PID" "$R1_PID" "$R2_PID" 2>/dev/null || true
+    wait "$GW_PID" "$R1_PID" "$R2_PID" 2>/dev/null || true
+    rm -f "$GW_LOG" "$R1_LOG" "$R2_LOG"
+}
+gw_fail() {
+    echo "--- gateway log ---" >&2; cat "$GW_LOG" >&2
+    echo "--- replica 1 log ---" >&2; cat "$R1_LOG" >&2
+    echo "--- replica 2 log ---" >&2; cat "$R2_LOG" >&2
+    gw_cleanup
+    fail "$@"
+}
+for i in $(seq 1 50); do
+    curl -fsS "$GW_BASE/healthz" >/dev/null 2>&1 && break
+    kill -0 "$GW_PID" 2>/dev/null || gw_fail "gateway exited during startup"
+    sleep 0.1
+done
+curl -fsS "$GW_BASE/healthz" >/dev/null || gw_fail "gateway never became healthy"
+
+# Flood one fingerprint through the gateway: every request must land on
+# the same replica (cache affinity), a MISS exactly once.
+GW_WORKLOAD='{"Model":"resnet","GPUs":4,"Batch":32,"Images":4096}'
+OWNER=""
+for i in $(seq 1 8); do
+    GW_HDRS="$(mktemp)"
+    curl -fsS -D "$GW_HDRS" -o /dev/null -X POST "$GW_BASE/v1/simulate" -d "$GW_WORKLOAD" \
+        || { rm -f "$GW_HDRS"; gw_fail "gateway simulate $i failed"; }
+    REPLICA="$(awk 'tolower($1) == "x-gw-replica:" {print $2}' "$GW_HDRS" | tr -d '\r')"
+    CACHE="$(awk 'tolower($1) == "x-cache:" {print $2}' "$GW_HDRS" | tr -d '\r')"
+    rm -f "$GW_HDRS"
+    [[ -n "$REPLICA" ]] || gw_fail "response $i missing X-Gw-Replica"
+    if [[ "$i" == 1 ]]; then
+        OWNER="$REPLICA"
+        [[ "$CACHE" == "MISS" ]] || gw_fail "first request X-Cache=$CACHE, want MISS"
+    else
+        [[ "$REPLICA" == "$OWNER" ]] || gw_fail "request $i routed to $REPLICA, owner is $OWNER — affinity broken"
+        [[ "$CACHE" == "HIT" ]] || gw_fail "repeat request $i X-Cache=$CACHE, want HIT"
+    fi
+done
+echo "smoke: affinity OK ($OWNER owns the fingerprint)"
+
+# Kill the owner; the same fingerprint must fail over to the survivor.
+case "$OWNER" in
+"http://$R1_ADDR") kill "$R1_PID"; wait "$R1_PID" 2>/dev/null || true; SURVIVOR="http://$R2_ADDR" ;;
+"http://$R2_ADDR") kill "$R2_PID"; wait "$R2_PID" 2>/dev/null || true; SURVIVOR="http://$R1_ADDR" ;;
+*) gw_fail "owner $OWNER is neither replica" ;;
+esac
+GW_HDRS="$(mktemp)"
+curl -fsS -D "$GW_HDRS" -o /dev/null -X POST "$GW_BASE/v1/simulate" -d "$GW_WORKLOAD" \
+    || { rm -f "$GW_HDRS"; gw_fail "post-kill simulate failed (no failover)"; }
+REPLICA="$(awk 'tolower($1) == "x-gw-replica:" {print $2}' "$GW_HDRS" | tr -d '\r')"
+rm -f "$GW_HDRS"
+[[ "$REPLICA" == "$SURVIVOR" ]] || gw_fail "post-kill request served by $REPLICA, want survivor $SURVIVOR"
+
+# The gateway's own metrics must record the routing: the dead owner down
+# (marked by the transport failure, not a probe), the survivor up, and
+# the failover counted.
+GW_METRICS="$(curl -fsS "$GW_BASE/metrics")" || gw_fail "gateway /metrics failed"
+grep -q "dgxsimgw_replica_up{replica=\"$OWNER\"} 0" <<<"$GW_METRICS" \
+    || gw_fail "dead owner still up in gateway metrics"
+grep -q "dgxsimgw_replica_up{replica=\"$SURVIVOR\"} 1" <<<"$GW_METRICS" \
+    || gw_fail "survivor not up in gateway metrics"
+grep -q "dgxsimgw_replica_requests_total{replica=\"$OWNER\"} [1-9]" <<<"$GW_METRICS" \
+    || gw_fail "owner request counter did not count the flood"
+grep -q 'dgxsimgw_failovers_total [1-9]' <<<"$GW_METRICS" \
+    || gw_fail "failover was not counted"
+gw_cleanup
+echo "smoke: gateway probe OK"
+
 echo "smoke: PASS"
