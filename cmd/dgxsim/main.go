@@ -7,6 +7,7 @@
 //	dgxsim -model resnet -gpus 4 -batch 32 -method nccl
 //	dgxsim -model inception-v3 -gpus 8 -batch 16 -method p2p -weak
 //	dgxsim -model lenet -gpus 4 -batch 16 -compare
+//	dgxsim -model resnet -gpus 16 -batch 32 -hardware dgx2 -protocol auto
 //	dgxsim -model resnet -gpus 8 -batch 32 -faults '{"failedLinks":[{"a":0,"b":1}]}'
 package main
 
@@ -25,9 +26,11 @@ import (
 func main() {
 	var (
 		model      = flag.String("model", "googlenet", "model name: "+strings.Join(core.Models(), ", "))
-		gpus       = flag.Int("gpus", 4, "GPU count (1..8)")
+		gpus       = flag.Int("gpus", 4, "GPU count (1..the machine's capacity)")
 		batch      = flag.Int("batch", 16, "per-GPU batch size")
 		method     = flag.String("method", "nccl", "communication method: p2p or nccl")
+		hardware   = flag.String("hardware", "", "machine generation: "+strings.Join(core.HardwareNames(), ", ")+" (default dgx1)")
+		protocol   = flag.String("protocol", "", "NCCL transfer protocol: "+strings.Join(core.Protocols(), ", ")+" (default simple)")
 		images     = flag.Int64("images", 0, "images per epoch (0 = paper's 256K)")
 		weak       = flag.Bool("weak", false, "weak scaling: dataset grows with GPU count")
 		compare    = flag.Bool("compare", false, "run both methods and compare")
@@ -48,6 +51,8 @@ func main() {
 		Batch:              *batch,
 		Method:             core.Method(*method),
 		Images:             *images,
+		Hardware:           *hardware,
+		Protocol:           *protocol,
 		WeakScaling:        *weak,
 		DisableTensorCores: *noTC,
 		Async:              *async,

@@ -43,9 +43,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/kvstore"
+	"repro/internal/train"
 )
 
-// NodeGPUs is each simulated node's GPU slot count (a DGX-1 has 8).
+// NodeGPUs is a DGX-1 node's GPU slot count — the default when a node
+// group names no hardware. Other machines set their own capacity (a
+// DGX-2 node offers 16 slots).
 const NodeGPUs = 8
 
 // Bounds keeping a hostile or runaway spec from exhausting the process.
@@ -60,8 +63,13 @@ const (
 type NodeSpec struct {
 	// Count is how many nodes this entry contributes (default 1).
 	Count int `json:"count,omitempty"`
+	// Hardware names the group's machine ("dgx1" default, "dgx2", ...).
+	// The machine sets each node's GPU slot count (a DGX-2 node offers
+	// 16) and the fabric every job placed there is priced on.
+	Hardware string `json:"hardware,omitempty"`
 	// Faults degrades every node in the group (nil = healthy). The plan
-	// validates against the DGX-1 wiring exactly as single-node plans do.
+	// validates against the DGX-1 wiring exactly as single-node plans do,
+	// so it requires the group's hardware to be the DGX-1.
 	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
@@ -72,7 +80,9 @@ type Job struct {
 	Name string `json:"name,omitempty"`
 	// Model is a zoo name: lenet, alexnet, googlenet, inception-v3, resnet.
 	Model string `json:"model"`
-	// GPUs is the job's device demand (1..8; a job never spans nodes).
+	// GPUs is the job's device demand (a job never spans nodes, so it
+	// must fit some declared node group's machine — 8 slots on a DGX-1,
+	// 16 on a DGX-2).
 	GPUs int `json:"gpus"`
 	// Batch is the per-GPU mini-batch size.
 	Batch int `json:"batch"`
@@ -89,15 +99,16 @@ type Job struct {
 }
 
 // workload lowers the job to the single-node core workload it would be
-// on a node carrying the given fault plan.
-func (j Job) workload(plan *faults.Plan) core.Workload {
+// on a node of the given hardware carrying the given fault plan.
+func (j Job) workload(plan *faults.Plan, hardware string) core.Workload {
 	return core.Workload{
-		Model:  j.Model,
-		GPUs:   j.GPUs,
-		Batch:  j.Batch,
-		Method: j.Method,
-		Images: j.Images,
-		Faults: plan,
+		Model:    j.Model,
+		GPUs:     j.GPUs,
+		Batch:    j.Batch,
+		Method:   j.Method,
+		Images:   j.Images,
+		Faults:   plan,
+		Hardware: hardware,
 	}
 }
 
@@ -152,7 +163,13 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("cluster: nodes[%d]: count %d must be positive", i, n.Count)
 		}
 		total += count
+		if _, err := train.MachineByName(n.Hardware); err != nil {
+			return fmt.Errorf("cluster: nodes[%d]: %w", i, err)
+		}
 		if err := n.Faults.Validate(); err != nil {
+			return fmt.Errorf("cluster: nodes[%d]: %w", i, err)
+		}
+		if err := n.Faults.CheckHardware(n.Hardware); err != nil {
 			return fmt.Errorf("cluster: nodes[%d]: %w", i, err)
 		}
 	}
@@ -169,7 +186,7 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("cluster: trace of %d jobs exceeds the %d-job cap", len(s.Jobs), MaxJobs)
 	}
 	for i, j := range s.Jobs {
-		if err := j.workload(nil).Validate(); err != nil {
+		if err := j.workload(nil, s.estimateHardware(j.GPUs)).Validate(); err != nil {
 			return fmt.Errorf("cluster: %s: %w", jobName(j, i), err)
 		}
 		if j.Arrival < 0 {
@@ -263,17 +280,54 @@ func queueOrDefault(name string) string {
 	return name
 }
 
-// expandNodes materializes the fleet as per-node fault plans, in node
-// index order.
-func expandNodes(specs []NodeSpec) []*faults.Plan {
-	var out []*faults.Plan
+// estimateHardware picks the hardware a job of the given GPU demand
+// would be validated and estimated against: the first declared node
+// group whose machine capacity fits the demand, falling back to the
+// first group so validation errors cite a machine the fleet actually
+// has. (A valid spec never hits a call with an unknown machine name —
+// Validate rejects those first — but the helper tolerates it by
+// treating the group as a default DGX-1.)
+func (s Spec) estimateHardware(gpus int) string {
+	first := ""
+	for i, n := range s.Nodes {
+		if i == 0 {
+			first = n.Hardware
+		}
+		m, err := train.MachineByName(n.Hardware)
+		if err != nil {
+			continue
+		}
+		if gpus <= m.GPUs {
+			return n.Hardware
+		}
+	}
+	return first
+}
+
+// nodeTemplate is one materialized node: its fault plan plus the
+// capacity and hardware name its machine contributes.
+type nodeTemplate struct {
+	plan     *faults.Plan
+	hardware string
+	gpus     int
+}
+
+// expandNodes materializes the fleet as per-node templates, in node
+// index order. Unknown machine names (pre-validation callers) fall back
+// to the DGX-1 slot count.
+func expandNodes(specs []NodeSpec) []nodeTemplate {
+	var out []nodeTemplate
 	for _, n := range specs {
 		count := n.Count
 		if count == 0 {
 			count = 1
 		}
+		gpus := NodeGPUs
+		if m, err := train.MachineByName(n.Hardware); err == nil {
+			gpus = m.GPUs
+		}
 		for i := 0; i < count; i++ {
-			out = append(out, n.Faults)
+			out = append(out, nodeTemplate{plan: n.Faults, hardware: n.Hardware, gpus: gpus})
 		}
 	}
 	return out
@@ -295,7 +349,7 @@ type NodeStat struct {
 	Faulted bool `json:"faulted"`
 	// Jobs is how many jobs the scheduler placed here.
 	Jobs int `json:"jobs"`
-	// Utilization is busy GPU-time over NodeGPUs x makespan.
+	// Utilization is busy GPU-time over the node's GPU count x makespan.
 	Utilization float64 `json:"utilization"`
 }
 

@@ -88,7 +88,7 @@ func TestGenerateTraceShape(t *testing.T) {
 			t.Fatalf("job %d arrives at %v before its predecessor at %v", i, j.Arrival, last)
 		}
 		last = j.Arrival
-		if w := j.workload(nil); w.Validate() != nil {
+		if w := j.workload(nil, ""); w.Validate() != nil {
 			t.Fatalf("generated job %d invalid: %+v", i, j)
 		}
 		switch j.GPUs {

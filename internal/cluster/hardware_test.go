@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// mixedFleet is one DGX-1 group and one DGX-2 group: 8 + 16 = 24 slots.
+func mixedFleet() Spec {
+	return Spec{
+		Nodes: []NodeSpec{
+			{Count: 1},
+			{Count: 1, Hardware: "dgx2"},
+		},
+		Jobs: []Job{
+			{Model: "lenet", GPUs: 1, Batch: 16, Images: 4096, Arrival: 0},
+			{Model: "lenet", GPUs: 16, Batch: 16, Images: 4096, Arrival: 0},
+			{Model: "alexnet", GPUs: 4, Batch: 16, Images: 4096, Arrival: time.Second},
+		},
+	}
+}
+
+// A heterogeneous fleet validates, counts every machine's slots, and
+// places the 16-GPU job only where it fits.
+func TestHeterogeneousFleet(t *testing.T) {
+	spec := mixedFleet()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("mixed fleet should validate: %v", err)
+	}
+	res, err := Simulate(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPUs != 24 {
+		t.Errorf("fleet GPUs = %d, want 8 + 16 = 24", res.GPUs)
+	}
+	if res.Nodes != 2 {
+		t.Errorf("fleet nodes = %d, want 2", res.Nodes)
+	}
+	// The 16-GPU job cannot fit node 0's 8 slots, so node 1 must have
+	// hosted at least it.
+	if res.PerNode[1].Jobs < 1 {
+		t.Errorf("the DGX-2 node placed %d jobs; the 16-GPU job only fits there", res.PerNode[1].Jobs)
+	}
+	for _, n := range res.PerNode {
+		if n.Utilization < 0 || n.Utilization > 1 {
+			t.Errorf("node %d utilization %f out of [0,1]", n.Node, n.Utilization)
+		}
+	}
+
+	// Determinism across runs holds for heterogeneous fleets too.
+	again, err := Simulate(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Makespan != res.Makespan || again.JCT != res.JCT || again.FleetUtilization != res.FleetUtilization {
+		t.Error("heterogeneous fleet simulation is not deterministic")
+	}
+}
+
+// SJF estimates and placement both price a job on hardware that fits
+// it: a 16-GPU job on a DGX-2-only fleet simulates end to end.
+func TestSixteenGPUJobOnDGX2Fleet(t *testing.T) {
+	spec := Spec{
+		Nodes: []NodeSpec{{Count: 1, Hardware: "dgx2"}},
+		Jobs: []Job{
+			{Model: "resnet", GPUs: 16, Batch: 16, Images: 4096, Arrival: 0},
+		},
+		Queue: QueueSJF,
+	}
+	res, err := Simulate(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPUs != 16 || res.Makespan <= 0 {
+		t.Errorf("GPUs = %d, makespan = %v", res.GPUs, res.Makespan)
+	}
+}
+
+// Hardware-axis validation: unknown machines and fault plans on
+// non-DGX-1 groups are rejected; over-capacity jobs name the machine
+// they were sized against.
+func TestHardwareValidation(t *testing.T) {
+	unknown := mixedFleet()
+	unknown.Nodes[1].Hardware = "dgx-3000"
+	if err := unknown.Validate(); err == nil || !strings.Contains(err.Error(), "unknown hardware") {
+		t.Errorf("unknown hardware: Validate() = %v", err)
+	}
+
+	mismatched := mixedFleet()
+	mismatched.Nodes[1].Faults = &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 1}}}
+	if err := mismatched.Validate(); err == nil || !strings.Contains(err.Error(), "fault plans describe the DGX-1") {
+		t.Errorf("fault plan on dgx2 group: Validate() = %v", err)
+	}
+	// The same plan on the DGX-1 group stays legal.
+	faulted := mixedFleet()
+	faulted.Nodes[0].Faults = &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 1}}}
+	if err := faulted.Validate(); err != nil {
+		t.Errorf("fault plan on dgx1 group: %v", err)
+	}
+
+	over := Spec{
+		Nodes: []NodeSpec{{Count: 2}},
+		Jobs:  []Job{{Model: "lenet", GPUs: 16, Batch: 16, Images: 4096}},
+	}
+	err := over.Validate()
+	if err == nil || !strings.Contains(err.Error(), "the DGX-1 has 1..8") {
+		t.Errorf("16-GPU job on an all-DGX-1 fleet: Validate() = %v", err)
+	}
+}

@@ -31,10 +31,12 @@ type pendingJob struct {
 	estimate time.Duration
 }
 
-// node is the event loop's fleet state for one DGX-1.
+// node is the event loop's fleet state for one machine.
 type node struct {
 	idx        int
 	plan       *faults.Plan
+	hardware   string
+	gpus       int // slot capacity — the machine's GPU count
 	faultScore float64
 	free       int
 	jobs       int
@@ -79,7 +81,7 @@ func (q *eventQueue) Pop() any {
 }
 
 // pricer memoizes job service times by normalized workload fingerprint
-// (job template x node fault plan). The underlying core artifact cache
+// (job template x node hardware x node fault plan). The underlying core artifact cache
 // already memoizes the expensive compile; this layer also skips the
 // per-call extrapolation and validation, so a 10k-job trace costs one
 // simulation per distinct configuration and map lookups for the rest.
@@ -89,10 +91,12 @@ type pricer struct {
 
 func newPricer() *pricer { return &pricer{memo: make(map[string]time.Duration)} }
 
-// price returns the epoch time of one repetition of j on a node carrying
-// plan.
-func (p *pricer) price(ctx context.Context, j Job, plan *faults.Plan) (time.Duration, error) {
-	w := j.workload(plan).Normalize()
+// price returns the epoch time of one repetition of j on a node of the
+// given hardware carrying plan. Normalize folds "" and "dgx1" to the
+// same fingerprint, so an all-default fleet prices exactly as before the
+// hardware axis existed.
+func (p *pricer) price(ctx context.Context, j Job, plan *faults.Plan, hardware string) (time.Duration, error) {
+	w := j.workload(plan, hardware).Normalize()
 	key := w.Fingerprint()
 	if d, ok := p.memo[key]; ok {
 		return d, nil
@@ -124,10 +128,15 @@ func Simulate(ctx context.Context, spec Spec) (*Result, error) {
 	tr := obs.FromContext(ctx)
 	defer tr.StartSpan("cluster.simulate")()
 
-	plans := expandNodes(spec.Nodes)
-	nodes := make([]*node, len(plans))
-	for i, p := range plans {
-		nodes[i] = &node{idx: i, plan: p, faultScore: faultScore(p), free: NodeGPUs}
+	templates := expandNodes(spec.Nodes)
+	nodes := make([]*node, len(templates))
+	totalGPUs := 0
+	for i, t := range templates {
+		nodes[i] = &node{
+			idx: i, plan: t.plan, hardware: t.hardware, gpus: t.gpus,
+			faultScore: faultScore(t.plan), free: t.gpus,
+		}
+		totalGPUs += t.gpus
 	}
 
 	jobs := spec.Jobs
@@ -151,12 +160,14 @@ func Simulate(ctx context.Context, spec Spec) (*Result, error) {
 
 	// Price the healthy-machine estimate of every distinct template up
 	// front: SJF ranks by it, and any deterministic workload failure (an
-	// OOM batch, say) surfaces here, before the timeline starts.
+	// OOM batch, say) surfaces here, before the timeline starts. The
+	// estimate machine is the first declared group that fits the job, so
+	// the ranking stays deterministic on heterogeneous fleets.
 	prices := newPricer()
 	endPrice := tr.StartSpan("cluster.price-estimates")
 	estimates := make([]time.Duration, len(jobs))
 	for i, j := range jobs {
-		d, err := prices.price(ctx, j, nil)
+		d, err := prices.price(ctx, j, nil, spec.estimateHardware(j.GPUs))
 		if err != nil {
 			endPrice()
 			return nil, err
@@ -195,7 +206,7 @@ func Simulate(ctx context.Context, spec Spec) (*Result, error) {
 		kept := pending[:0]
 		for _, pj := range pending {
 			for i, n := range nodes {
-				views[i] = NodeView{Index: n.idx, FreeGPUs: n.free, TotalGPUs: NodeGPUs, FaultScore: n.faultScore}
+				views[i] = NodeView{Index: n.idx, FreeGPUs: n.free, TotalGPUs: n.gpus, FaultScore: n.faultScore}
 			}
 			pick := policy.Place(pj.job.GPUs, views)
 			if pick < 0 {
@@ -203,7 +214,7 @@ func Simulate(ctx context.Context, spec Spec) (*Result, error) {
 				continue
 			}
 			n := nodes[pick]
-			per, err := prices.price(ctx, pj.job, n.plan)
+			per, err := prices.price(ctx, pj.job, n.plan, n.hardware)
 			if err != nil {
 				return err
 			}
@@ -255,7 +266,7 @@ func Simulate(ctx context.Context, spec Spec) (*Result, error) {
 		Queue:  spec.Queue,
 		Seed:   spec.Seed,
 		Nodes:  len(nodes),
-		GPUs:   len(nodes) * NodeGPUs,
+		GPUs:   totalGPUs,
 		Jobs:   len(jobs),
 
 		Makespan:         makespan,
@@ -269,7 +280,7 @@ func Simulate(ctx context.Context, spec Spec) (*Result, error) {
 	for i, n := range nodes {
 		util := 0.0
 		if makespan > 0 {
-			util = float64(n.busyGPU) / float64(makespan*NodeGPUs)
+			util = float64(n.busyGPU) / float64(makespan*time.Duration(n.gpus))
 		}
 		res.PerNode[i] = NodeStat{Node: i, Faulted: !n.plan.IsZero(), Jobs: n.jobs, Utilization: util}
 		busy += n.busyGPU

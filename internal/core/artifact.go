@@ -329,6 +329,8 @@ func trainConfig(w Workload) (train.Config, error) {
 	cfg.Winograd = w.Winograd
 	cfg.DetailIntervals = w.TraceIntervals
 	cfg.Faults = w.Faults
+	cfg.Hardware = w.Hardware
+	cfg.Protocol = w.Protocol
 	return cfg, nil
 }
 

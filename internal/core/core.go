@@ -82,6 +82,18 @@ type Workload struct {
 	// machine. The plan is part of the workload's identity: it joins the
 	// Fingerprint, so faulted runs never alias healthy ones in any cache.
 	Faults *faults.Plan `json:"faults,omitempty"`
+	// Hardware names the machine to simulate: "dgx1" (default, the
+	// paper's system), "dgx1-pascal", "dgx2", "dgx-a100", or "dgx-h100".
+	// It resolves to a (topology, GPU spec) pair and joins the
+	// Fingerprint, so runs on different machines never share cache slots.
+	// Fault plans name DGX-1 bricks, so Faults requires dgx1 hardware.
+	Hardware string
+	// Protocol selects the NCCL transfer protocol: "simple" (default, the
+	// paper-era behavior), "ll", "ll128", or "auto" (NCCL's tuner: picks
+	// protocol and ring-vs-tree algorithm per collective by message size
+	// and fabric). Ignored by the p2p method. "auto" conflicts with
+	// NCCLTree, which pins the algorithm.
+	Protocol string
 }
 
 // Report is the outcome of one simulated epoch. It marshals to JSON for

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"repro/internal/nccl"
+	"repro/internal/train"
+)
+
+// HardwareOption describes one machine of the hardware registry as the
+// API lists it (GET /v1/hardware, dgxsim -hardware help).
+type HardwareOption struct {
+	// Name is the workload spelling ("dgx1", "dgx2", ...).
+	Name string `json:"name"`
+	// Title is the prose name ("the DGX-1").
+	Title string `json:"title"`
+	// GPUs is the device count workload validation enforces.
+	GPUs int `json:"gpus"`
+	// GPU names the device model ("Tesla V100-SXM2-16GB").
+	GPU string `json:"gpu"`
+	// Interconnect describes the fabric in one line.
+	Interconnect string `json:"interconnect"`
+	// Default marks the machine an empty hardware field resolves to.
+	Default bool `json:"default,omitempty"`
+}
+
+// Hardware lists the simulatable machines in display order (the paper's
+// DGX-1 first).
+func Hardware() []HardwareOption {
+	ms := train.Machines()
+	out := make([]HardwareOption, len(ms))
+	for i, m := range ms {
+		out[i] = HardwareOption{
+			Name:         m.Name,
+			Title:        m.Title,
+			GPUs:         m.GPUs,
+			GPU:          m.Spec().Name,
+			Interconnect: m.Interconnect,
+			Default:      m.Name == train.DefaultHardware,
+		}
+	}
+	return out
+}
+
+// HardwareNames lists the accepted hardware spellings in display order.
+func HardwareNames() []string { return train.MachineNames() }
+
+// Protocols lists the accepted NCCL protocol spellings in display order.
+func Protocols() []string { return nccl.ProtocolNames() }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// The two new axes must key the cache separately — same workload on
+// different hardware (or protocol) must never share a fingerprint, and
+// the canonical defaults must still collapse.
+func TestHardwareProtocolFingerprintSeparation(t *testing.T) {
+	base := Workload{Model: "alexnet", GPUs: 8, Batch: 16, Method: NCCL}
+	dgx1 := base
+	dgx1.Hardware = "dgx1"
+	simple := base
+	simple.Protocol = "simple"
+	if base.Fingerprint() != dgx1.Fingerprint() {
+		t.Error("implicit and explicit dgx1 should share a fingerprint")
+	}
+	if base.Fingerprint() != simple.Fingerprint() {
+		t.Error("implicit and explicit simple protocol should share a fingerprint")
+	}
+
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for _, hw := range []string{"dgx1-pascal", "dgx2", "dgx-a100", "dgx-h100"} {
+		w := base
+		w.Hardware = hw
+		fp := w.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("hardware %q collides with %s", hw, prev)
+		}
+		seen[fp] = "hardware " + hw
+	}
+	for _, proto := range []string{"ll", "ll128", "auto"} {
+		w := base
+		w.Protocol = proto
+		fp := w.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("protocol %q collides with %s", proto, prev)
+		}
+		seen[fp] = "protocol " + proto
+	}
+}
+
+// End-to-end cache hygiene: simulating the same model across hardware
+// generations produces different results (no cross-serving), while
+// re-simulating one configuration reproduces it exactly.
+func TestCacheNeverCrossServesHardware(t *testing.T) {
+	run := func(hw, proto string) *Report {
+		t.Helper()
+		r, err := Run(Workload{Model: "alexnet", GPUs: 8, Batch: 16, Method: NCCL,
+			Hardware: hw, Protocol: proto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	dgx1 := run("", "")
+	dgx2 := run("dgx2", "")
+	if dgx1.EpochTime == dgx2.EpochTime {
+		t.Error("dgx1 and dgx2 reports share an epoch time — the cache cross-served")
+	}
+	ll := run("dgx2", "ll")
+	if ll.EpochTime == dgx2.EpochTime {
+		t.Error("simple and ll reports share an epoch time — the cache cross-served")
+	}
+	again := run("dgx2", "")
+	if again.EpochTime != dgx2.EpochTime || again.Workload.Fingerprint() != dgx2.Workload.Fingerprint() {
+		t.Error("re-running the same configuration should reproduce it exactly")
+	}
+}
+
+// Validate resolves capacity from the named machine and rejects the
+// contradictory combinations with the documented errors.
+func TestValidateHardwareAxis(t *testing.T) {
+	ok := Workload{Model: "resnet", GPUs: 16, Batch: 16, Hardware: "dgx2"}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("16 GPUs on dgx2: %v", err)
+	}
+	over := ok
+	over.GPUs = 17
+	if err := over.Validate(); err == nil {
+		t.Error("17 GPUs on dgx2 accepted")
+	}
+	unknown := ok
+	unknown.Hardware = "dgx-3000"
+	if err := unknown.Validate(); err == nil {
+		t.Error("unknown hardware accepted")
+	}
+
+	faulted := Workload{Model: "lenet", GPUs: 4, Batch: 16, Hardware: "dgx2",
+		Faults: &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 1}}}}
+	err := faulted.Validate()
+	if err == nil {
+		t.Fatal("fault plan on dgx2 accepted")
+	}
+	if !errors.Is(err, faults.ErrHardwareMismatch) {
+		t.Errorf("error %q should wrap faults.ErrHardwareMismatch", err)
+	}
+
+	auto := Workload{Model: "lenet", GPUs: 4, Batch: 16, Protocol: "auto", NCCLTree: true}
+	if err := auto.Validate(); err == nil {
+		t.Error("auto protocol + pinned tree accepted")
+	}
+	badProto := Workload{Model: "lenet", GPUs: 4, Batch: 16, Protocol: "ll256"}
+	if err := badProto.Validate(); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+// The catalog the /v1/hardware endpoint serves: every registered machine
+// with the default marked, plus the protocol ladder.
+func TestHardwareCatalog(t *testing.T) {
+	opts := Hardware()
+	if len(opts) != 5 {
+		t.Fatalf("catalog has %d machines, want 5: %v", len(opts), HardwareNames())
+	}
+	defaults := 0
+	for _, o := range opts {
+		if o.Name == "" || o.Title == "" || o.GPUs < 1 || o.GPU == "" || o.Interconnect == "" {
+			t.Errorf("catalog entry incomplete: %+v", o)
+		}
+		if o.Default {
+			defaults++
+			if o.Name != "dgx1" {
+				t.Errorf("default machine is %q, want dgx1", o.Name)
+			}
+		}
+	}
+	if defaults != 1 {
+		t.Errorf("%d default machines, want exactly 1", defaults)
+	}
+	if got := Protocols(); len(got) != 4 {
+		t.Errorf("protocols = %v, want the 4-step ladder", got)
+	}
+}

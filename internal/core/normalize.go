@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/data"
+import (
+	"repro/internal/data"
+	"repro/internal/train"
+)
 
 // Normalize returns the workload with its defaulted fields made explicit:
 // a zero Method becomes NCCL and zero Images becomes the paper's 256K
@@ -17,12 +20,21 @@ import "repro/internal/data"
 // entries dropped, a healthy plan collapsing to nil), so every spelling
 // of the same degraded fabric shares one fingerprint — and the healthy
 // machine has exactly one.
+// Hardware and Protocol normalize to their explicit default spellings
+// ("dgx1", "simple"), so the machine and protocol are always visible in
+// echoed workloads and always part of the fingerprint.
 func (w Workload) Normalize() Workload {
 	if w.Method == "" {
 		w.Method = NCCL
 	}
 	if w.Images == 0 {
 		w.Images = data.PaperDatasetImages
+	}
+	if w.Hardware == "" {
+		w.Hardware = train.DefaultHardware
+	}
+	if w.Protocol == "" {
+		w.Protocol = "simple"
 	}
 	w.Faults = w.Faults.Normalize()
 	return w

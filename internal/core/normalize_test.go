@@ -17,7 +17,7 @@ func TestNormalizeDefaults(t *testing.T) {
 }
 
 func TestNormalizePreservesExplicitValues(t *testing.T) {
-	w := Workload{Model: "resnet", GPUs: 4, Batch: 32, Method: P2P, Images: 1234, NCCLTree: true}
+	w := Workload{Model: "resnet", GPUs: 4, Batch: 32, Method: P2P, Images: 1234, NCCLTree: true, Hardware: "dgx1", Protocol: "simple"}
 	if n := w.Normalize(); n != w {
 		t.Errorf("Normalize changed an already-explicit workload: %+v -> %+v", w, n)
 	}

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/kvstore"
 	"repro/internal/models"
+	"repro/internal/nccl"
+	"repro/internal/train"
 )
 
 // Validate checks a workload before it is run. The CLI (cmd/dgxsim) and
@@ -19,8 +21,12 @@ func (w Workload) Validate() error {
 	if _, err := models.ByName(w.Model); err != nil {
 		return fmt.Errorf("core: unknown model %q (available: %s)", w.Model, strings.Join(models.Names(), ", "))
 	}
-	if w.GPUs < 1 || w.GPUs > 8 {
-		return fmt.Errorf("core: GPU count %d out of range (the DGX-1 has 1..8)", w.GPUs)
+	m, err := train.MachineByName(w.Hardware)
+	if err != nil {
+		return fmt.Errorf("core: unknown hardware %q (available: %s)", w.Hardware, strings.Join(train.MachineNames(), ", "))
+	}
+	if w.GPUs < 1 || w.GPUs > m.GPUs {
+		return fmt.Errorf("core: GPU count %d out of range (%s has 1..%d)", w.GPUs, m.Title, m.GPUs)
 	}
 	if w.Batch <= 0 {
 		return fmt.Errorf("core: batch size %d must be positive", w.Batch)
@@ -60,7 +66,16 @@ func (w Workload) Validate() error {
 	if w.TraceIntervals < 0 {
 		return fmt.Errorf("core: trace interval count %d must not be negative", w.TraceIntervals)
 	}
+	if _, err := nccl.ParseProtocol(w.Protocol); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if w.NCCLTree && w.Protocol == "auto" {
+		return fmt.Errorf("core: protocol \"auto\" picks the algorithm per collective; clear ncclTree")
+	}
 	if err := w.Faults.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := w.Faults.CheckHardware(w.Hardware); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	return nil

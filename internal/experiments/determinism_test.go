@@ -6,7 +6,7 @@ import "testing"
 // experiment twice must produce byte-identical tables. This is what makes
 // the reproduction reproducible.
 func TestExperimentsDeterministic(t *testing.T) {
-	for _, id := range []string{"table1", "table2", "table3", "table4", "fig2", "insights", "fleet"} {
+	for _, id := range []string{"table1", "table2", "table3", "table4", "fig2", "insights", "fleet", "crossover"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

@@ -109,6 +109,9 @@ func All() []Experiment {
 		{ID: "hardware", Title: "Extension: hardware generations and transport baselines",
 			Desc: "the same sweep on Pascal, PCIe-only, and NVSwitch machines plus a CPU parameter server",
 			Run:  Hardware},
+		{ID: "crossover", Title: "Extension: P2P-vs-NCCL crossover across hardware generations",
+			Desc: "the paper's method comparison re-run on the DGX-2's NVSwitch crossbar, plus the NCCL protocol ladder",
+			Run:  Crossover},
 		{ID: "resilience", Title: "Extension: training under injected fabric faults",
 			Desc: "severity ladder of link failures, stragglers, and PCIe contention on one node's epoch",
 			Run:  Resilience},

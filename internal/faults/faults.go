@@ -18,6 +18,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,6 +30,24 @@ import (
 // NumGPUs is the DGX-1's device count, the range every GPU reference in a
 // plan must fall in.
 const NumGPUs = 8
+
+// ErrHardwareMismatch is returned when a fault plan is combined with
+// hardware other than the DGX-1. A plan's link coordinates name bricks of
+// the DGX-1's cube-mesh; validating them against another machine's wiring
+// would silently accept nonsense (or reject valid plans), so the
+// combination is a typed, checkable error instead.
+var ErrHardwareMismatch = errors.New("faults: fault plans describe the DGX-1's wiring")
+
+// CheckHardware rejects a non-trivial plan on non-DGX-1 hardware.
+// hardware is the workload's machine name; the empty string and "dgx1"
+// are the machine the plan's brick coordinates refer to. A nil or zero
+// plan is valid on any hardware.
+func (p *Plan) CheckHardware(hardware string) error {
+	if p.IsZero() || hardware == "" || hardware == "dgx1" {
+		return nil
+	}
+	return fmt.Errorf("%w; hardware %q is not the DGX-1", ErrHardwareMismatch, hardware)
+}
 
 // Link names one NVLink connection by its GPU endpoints (order
 // irrelevant; Normalize canonicalizes to A < B).

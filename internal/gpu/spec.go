@@ -93,6 +93,40 @@ func P100() Spec {
 	}
 }
 
+// A100 returns the A100-SXM4-40GB of the Ampere generation that followed
+// the paper's Volta: 108 SMs, 19.5 TFLOPS FP32, 312 TFLOPS dense tensor,
+// 40 GB HBM2e at 1555 GB/s. The occupancy knee scales with the larger SM
+// array: small kernels are even further from filling the machine, which
+// is why the paper's small-network pathologies get worse, not better, on
+// newer parts.
+func A100() Spec {
+	return Spec{
+		Name:          "NVIDIA A100-SXM4-40GB",
+		SMs:           108,
+		PeakFP32:      19.5 * units.TFLOPPerSec,
+		PeakTensor:    312 * units.TFLOPPerSec,
+		MemBW:         1555 * units.GBPerSec,
+		MemCapacity:   40 * units.GB,
+		KernelGap:     2500 * time.Nanosecond,
+		OccupancyHalf: 64 * 1024,
+	}
+}
+
+// H100 returns the H100-SXM5-80GB of the Hopper generation: 132 SMs,
+// 67 TFLOPS FP32, 989 TFLOPS dense tensor, 80 GB HBM3 at 3350 GB/s.
+func H100() Spec {
+	return Spec{
+		Name:          "NVIDIA H100-SXM5-80GB",
+		SMs:           132,
+		PeakFP32:      67 * units.TFLOPPerSec,
+		PeakTensor:    989 * units.TFLOPPerSec,
+		MemBW:         3350 * units.GBPerSec,
+		MemCapacity:   80 * units.GB,
+		KernelGap:     2500 * time.Nanosecond,
+		OccupancyHalf: 80 * 1024,
+	}
+}
+
 // Slowed returns the spec with every throughput roof (FP32, tensor, DRAM)
 // divided by factor — the straggler-GPU model fault plans inject: thermal
 // throttling or a sick HBM stack slows every kernel class uniformly

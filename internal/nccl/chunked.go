@@ -27,7 +27,11 @@ func (c *Communicator) WireTimeAllReduce(size units.Bytes) time.Duration {
 // SimulateChunkedAllReduce books the full chunk schedule of a ring
 // all-reduce starting at ready and returns its completion time (excluding
 // launch/kernel overheads). Each ring carries a share of the payload
-// proportional to its lane bandwidth.
+// proportional to its lane bandwidth; the last ring absorbs the rounding
+// remainder so the shares sum exactly to size, and within each ring the
+// last chunk absorbs the per-ring remainder so the booked payload equals
+// the share byte-for-byte. The schedule models the Simple protocol (the
+// paper-era line format the chunk sizes correspond to).
 func (c *Communicator) SimulateChunkedAllReduce(size units.Bytes, ready time.Duration) time.Duration {
 	n := len(c.devs)
 	if n <= 1 {
@@ -39,24 +43,41 @@ func (c *Communicator) SimulateChunkedAllReduce(size units.Bytes, ready time.Dur
 	}
 	fab := c.rt.Fabric()
 
+	// Split the payload across rings, last ring taking the remainder.
+	shares := make([]units.Bytes, len(c.rings))
+	var assigned units.Bytes
+	for ri, r := range c.rings {
+		if ri == len(c.rings)-1 {
+			shares[ri] = size - assigned
+			break
+		}
+		shares[ri] = units.Bytes(float64(size) * float64(r.LaneBW) / totalBW)
+		assigned += shares[ri]
+	}
+
 	// Per-ring schedule state. Steps are interleaved ACROSS rings (all
 	// rings' step s before any ring's step s+1) so that FIFO booking order
 	// matches time order on links the rings share.
 	type ringState struct {
-		chunk     units.Bytes
+		// chunks[j] is the j-th chunk of the ring's share; the last chunk
+		// absorbs the integer-division remainder. At step s, rank i
+		// forwards chunks[(i+s) % ranks], so each chunk is booked exactly
+		// once per step and no bytes are dropped.
+		chunks    []units.Bytes
 		steps     int
 		stepReady time.Duration
 	}
 	states := make([]ringState, len(c.rings))
 	maxSteps := 0
 	for ri, r := range c.rings {
-		share := units.Bytes(float64(size) * float64(r.LaneBW) / totalBW)
 		ranks := len(r.Order)
-		chunk := share / units.Bytes(ranks)
-		if chunk <= 0 {
-			chunk = 1
+		base := shares[ri] / units.Bytes(ranks)
+		chunks := make([]units.Bytes, ranks)
+		for j := range chunks {
+			chunks[j] = base
 		}
-		states[ri] = ringState{chunk: chunk, steps: 2 * (ranks - 1), stepReady: ready}
+		chunks[ranks-1] = shares[ri] - base*units.Bytes(ranks-1)
+		states[ri] = ringState{chunks: chunks, steps: 2 * (ranks - 1), stepReady: ready}
 		if states[ri].steps > maxSteps {
 			maxSteps = states[ri].steps
 		}
@@ -68,8 +89,12 @@ func (c *Communicator) SimulateChunkedAllReduce(size units.Bytes, ready time.Dur
 				continue
 			}
 			ranks := len(r.Order)
-			var stepEnd time.Duration
+			stepEnd := st.stepReady
 			for i := 0; i < ranks; i++ {
+				chunk := st.chunks[(i+s)%ranks]
+				if chunk <= 0 {
+					continue
+				}
 				// Rank i forwards one chunk along its hop. For 2-rank
 				// rings the single full-duplex lane carries both
 				// directions; hopLinks holds the pair's link at index 0.
@@ -80,7 +105,7 @@ func (c *Communicator) SimulateChunkedAllReduce(size units.Bytes, ready time.Dur
 				l := c.hopLinks[ri][hi]
 				if l == nil {
 					for _, hop := range c.hopPaths[ri][hi].Hops {
-						_, e := fab.Occupy(hop.Link, hop.From, st.stepReady, units.TransferTime(st.chunk, hop.Link.BW))
+						_, e := fab.Occupy(hop.Link, hop.From, st.stepReady, units.TransferTime(chunk, hop.Link.BW))
 						if e > stepEnd {
 							stepEnd = e
 						}
@@ -92,7 +117,7 @@ func (c *Communicator) SimulateChunkedAllReduce(size units.Bytes, ready time.Dur
 				// serialized full-bandwidth slices on one resource are the
 				// fluid equivalent of parallel per-lane channels.
 				from := r.Order[i]
-				_, e := fab.Occupy(l, from, st.stepReady, units.TransferTime(st.chunk, l.BW))
+				_, e := fab.Occupy(l, from, st.stepReady, units.TransferTime(chunk, l.BW))
 				if e > stepEnd {
 					stepEnd = e
 				}

@@ -34,6 +34,34 @@ func TestClosedFormMatchesChunkedSimulation(t *testing.T) {
 	}
 }
 
+// Regression for the integer-division payload loss: the chunk schedule
+// used to book size/ranks per chunk and drop the remainder, so awkward
+// sizes (primes, sizes below the rank count) under-booked the fabric.
+// The last chunk now absorbs the remainder, and the schedule must stay
+// in agreement with the closed form at exactly those sizes.
+func TestChunkedAwkwardSizesMatchClosedForm(t *testing.T) {
+	sizes := []units.Bytes{3, 7, 1009, 65537, 1000003, 16777259}
+	for _, n := range []int{2, 4, 8} {
+		for _, size := range sizes {
+			c, _ := newComm(t, gpus(n))
+			closed := c.WireTimeAllReduce(size)
+			simulated := c.SimulateChunkedAllReduce(size, 0)
+			if simulated <= 0 {
+				t.Fatalf("n=%d size=%d: chunked schedule took no time", n, size)
+			}
+			diff := simulated.Seconds() - closed.Seconds()
+			if diff < 0 {
+				diff = -diff
+			}
+			rel := diff / closed.Seconds()
+			if rel > 0.05 && diff > 5e-6 {
+				t.Errorf("n=%d size=%d: closed %v vs chunked %v (%.1f%% apart)",
+					n, size, closed, simulated, 100*rel)
+			}
+		}
+	}
+}
+
 // Under contention the chunked schedule must slow down while the closed
 // form (which ignores competing traffic) does not — quantifying the
 // shortcut's blind spot.

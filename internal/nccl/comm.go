@@ -46,8 +46,13 @@ type Config struct {
 	// MaxRings bounds the edge-disjoint NVLink rings the communicator
 	// builds (NCCL 2 on the DGX-1 typically finds a small number).
 	MaxRings int
-	// Algorithm selects the collective schedule (default ring).
+	// Algorithm selects the collective schedule (default ring). Ignored
+	// when Protocol is ProtoAuto, which picks ring vs tree per collective.
 	Algorithm Algorithm
+	// Protocol selects the transfer protocol (default ProtoSimple, the
+	// paper-era behavior). ProtoAuto resolves per collective by message
+	// size and fabric.
+	Protocol Protocol
 	// KernelOverhead is the fixed device-side cost of one collective call
 	// per rank (kernel start, block synchronization).
 	KernelOverhead time.Duration
@@ -76,6 +81,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// withDefaults fills every zero field from DefaultConfig, so the zero
+// Config behaves exactly like the default one. (An earlier version
+// rewrote a zero MaxRings to 1 while DefaultConfig used 2, silently
+// halving ring bandwidth for zero-value callers.)
+func (cfg Config) withDefaults() Config {
+	def := DefaultConfig()
+	if cfg.MaxRings <= 0 {
+		cfg.MaxRings = def.MaxRings
+	}
+	if cfg.KernelOverhead <= 0 {
+		cfg.KernelOverhead = def.KernelOverhead
+	}
+	if cfg.StepLatency <= 0 {
+		cfg.StepLatency = def.StepLatency
+	}
+	if cfg.SetupCost <= 0 {
+		cfg.SetupCost = def.SetupCost
+	}
+	if cfg.LocalPassBW <= 0 {
+		cfg.LocalPassBW = def.LocalPassBW
+	}
+	return cfg
+}
+
 // Communicator is one NCCL communicator over a set of GPUs.
 type Communicator struct {
 	rt      *cuda.Runtime
@@ -88,6 +117,9 @@ type Communicator struct {
 	// is booked per routed hop in hopPaths).
 	hopLinks [][]*topology.Link
 	hopPaths [][]topology.Path
+	// nvlink records whether the rings run over NVLink — the fabric
+	// property protocol auto-selection (and LL128 eligibility) keys on.
+	nvlink bool
 	// avail is per-collective scratch (rank availability times), reused
 	// across calls — a communicator issues thousands of collectives per
 	// simulated epoch and is single-threaded within its run.
@@ -100,9 +132,7 @@ func New(rt *cuda.Runtime, devs []topology.NodeID, cfg Config) (*Communicator, e
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("nccl: communicator needs at least one device")
 	}
-	if cfg.MaxRings <= 0 {
-		cfg.MaxRings = 1
-	}
+	cfg = cfg.withDefaults()
 	c := &Communicator{
 		rt:      rt,
 		devs:    append([]topology.NodeID(nil), devs...),
@@ -132,6 +162,7 @@ func New(rt *cuda.Runtime, devs []topology.NodeID, cfg Config) (*Communicator, e
 		if err := c.resolveHops(top); err != nil {
 			return nil, err
 		}
+		c.nvlink = !c.rings[0].PCIe
 	}
 	return c, nil
 }
@@ -200,12 +231,14 @@ func (c *Communicator) SetupCost() time.Duration { return c.cfg.SetupCost }
 // algorithm's traffic multiplier, e.g. 2(N-1)/N for AllReduce). The tree
 // algorithm keeps the bandwidth term (double trees sustain comparable
 // bandwidth over the same links) but replaces the latency term with its
-// O(log N) step count.
+// O(log N) step count. The protocol scales both terms: its line format
+// taxes bandwidth, its synchronization scheme discounts step latency.
 func (c *Communicator) wireTime(size units.Bytes, dataFactor float64, steps int) time.Duration {
 	if size <= 0 {
 		return 0
 	}
-	if c.cfg.Algorithm == AlgoTree {
+	algo, proto := c.resolve(size)
+	if algo == AlgoTree {
 		if t, err := BuildTree(len(c.devs)); err == nil {
 			up := t.Depth + 1
 			// Reduce up + broadcast down, both trees concurrently.
@@ -213,8 +246,24 @@ func (c *Communicator) wireTime(size units.Bytes, dataFactor float64, steps int)
 		}
 	}
 	bytes := units.Bytes(float64(size) * dataFactor)
-	tt := units.TransferTime(bytes, c.BusBW())
-	return tt + time.Duration(steps)*c.cfg.StepLatency
+	bw := units.Bandwidth(float64(c.BusBW()) * proto.bwFraction())
+	tt := units.TransferTime(bytes, bw)
+	return tt + time.Duration(steps)*proto.stepLatency(c.cfg.StepLatency)
+}
+
+// resolve picks the (algorithm, protocol) pair for one collective of the
+// given per-rank size: auto delegates to AutoSelect, LL128 off NVLink
+// degrades to Simple (its 128-byte write-visibility guarantee only holds
+// on NVLink fabrics), and everything else is taken as configured.
+func (c *Communicator) resolve(size units.Bytes) (Algorithm, Protocol) {
+	if c.cfg.Protocol == ProtoAuto {
+		return AutoSelect(size, len(c.devs), c.nvlink)
+	}
+	proto := c.cfg.Protocol
+	if proto == ProtoLL128 && !c.nvlink {
+		proto = ProtoSimple
+	}
+	return c.cfg.Algorithm, proto
 }
 
 // localPass is the degenerate single-rank collective: the Reduce/Broadcast

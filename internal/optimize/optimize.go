@@ -72,12 +72,20 @@ func (o Objective) Better(a, b float64) bool {
 
 // Space is the searched region. Empty axes take defaults: every DGX-1
 // GPU count (1..8), both communication methods, the base workload's
-// batch size, and the healthy (nil) fault plan.
+// batch size, hardware, protocol, and fault plan. Note GPU counts above
+// the smallest machine's capacity are only valid if every hardware entry
+// fits them (validation rejects the contradictory candidates).
 type Space struct {
-	GPUs    []int          `json:"gpus,omitempty"`
-	Batches []int          `json:"batches,omitempty"`
-	Methods []core.Method  `json:"methods,omitempty"`
-	Faults  []*faults.Plan `json:"faults,omitempty"`
+	GPUs    []int         `json:"gpus,omitempty"`
+	Batches []int         `json:"batches,omitempty"`
+	Methods []core.Method `json:"methods,omitempty"`
+	// Hardware searches machine generations ("dgx1", "dgx2", ...); each
+	// candidate resolves to that machine's topology and GPU spec.
+	Hardware []string `json:"hardware,omitempty"`
+	// Protocols searches NCCL transfer protocols ("simple", "ll",
+	// "ll128", "auto").
+	Protocols []string       `json:"protocols,omitempty"`
+	Faults    []*faults.Plan `json:"faults,omitempty"`
 }
 
 // withDefaults fills empty axes.
@@ -91,6 +99,12 @@ func (sp Space) withDefaults(base core.Workload) Space {
 	if len(sp.Methods) == 0 {
 		sp.Methods = []core.Method{core.P2P, core.NCCL}
 	}
+	if len(sp.Hardware) == 0 {
+		sp.Hardware = []string{base.Hardware}
+	}
+	if len(sp.Protocols) == 0 {
+		sp.Protocols = []string{base.Protocol}
+	}
 	if len(sp.Faults) == 0 {
 		sp.Faults = []*faults.Plan{base.Faults}
 	}
@@ -98,18 +112,27 @@ func (sp Space) withDefaults(base core.Workload) Space {
 }
 
 // Candidates expands the space over the base workload in deterministic
-// order (gpus → batches → methods → faults, each axis in the order
-// given), so the same request always searches the same sequence.
+// order (gpus → batches → methods → hardware → protocols → faults, each
+// axis in the order given), so the same request always searches the same
+// sequence. The hardware and protocol axes nest inside methods, so a
+// request that leaves them empty searches the exact candidate sequence
+// earlier releases did.
 func Candidates(base core.Workload, sp Space) []core.Workload {
 	sp = sp.withDefaults(base)
-	out := make([]core.Workload, 0, len(sp.GPUs)*len(sp.Batches)*len(sp.Methods)*len(sp.Faults))
+	out := make([]core.Workload, 0,
+		len(sp.GPUs)*len(sp.Batches)*len(sp.Methods)*len(sp.Hardware)*len(sp.Protocols)*len(sp.Faults))
 	for _, g := range sp.GPUs {
 		for _, b := range sp.Batches {
 			for _, m := range sp.Methods {
-				for _, f := range sp.Faults {
-					w := base
-					w.GPUs, w.Batch, w.Method, w.Faults = g, b, m, f
-					out = append(out, w)
+				for _, hw := range sp.Hardware {
+					for _, proto := range sp.Protocols {
+						for _, f := range sp.Faults {
+							w := base
+							w.GPUs, w.Batch, w.Method, w.Faults = g, b, m, f
+							w.Hardware, w.Protocol = hw, proto
+							out = append(out, w)
+						}
+					}
 				}
 			}
 		}

@@ -88,6 +88,37 @@ func TestCandidatesExplicitAxes(t *testing.T) {
 	}
 }
 
+func TestCandidatesHardwareProtocolAxes(t *testing.T) {
+	base := core.Workload{Model: "alexnet", Batch: 16}
+	cands := Candidates(base, Space{
+		GPUs:      []int{8},
+		Methods:   []core.Method{core.NCCL},
+		Hardware:  []string{"dgx1", "dgx2"},
+		Protocols: []string{"simple", "auto"},
+	})
+	if len(cands) != 1*1*1*2*2*1 {
+		t.Fatalf("%d candidates, want 4", len(cands))
+	}
+	// Protocols nest inside hardware; both inside methods.
+	want := []struct{ hw, proto string }{
+		{"dgx1", "simple"}, {"dgx1", "auto"}, {"dgx2", "simple"}, {"dgx2", "auto"},
+	}
+	for i, c := range cands {
+		if c.Hardware != want[i].hw || c.Protocol != want[i].proto {
+			t.Fatalf("cands[%d] = (%s, %s), want (%s, %s)", i, c.Hardware, c.Protocol, want[i].hw, want[i].proto)
+		}
+	}
+	// Empty axes inherit the base workload's values, so an axes-free
+	// space over a hardware-pinned base keeps the pin.
+	pinned := base
+	pinned.Hardware, pinned.Protocol = "dgx2", "ll128"
+	for _, c := range Candidates(pinned, Space{GPUs: []int{1}}) {
+		if c.Hardware != "dgx2" || c.Protocol != "ll128" {
+			t.Fatalf("base hardware/protocol lost: %+v", c)
+		}
+	}
+}
+
 func TestFrontierMinEpochTime(t *testing.T) {
 	ws := []core.Workload{wl(1), wl(2), wl(4), wl(8)}
 	reps := []*core.Report{

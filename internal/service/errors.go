@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"repro/internal/faults"
 )
 
 // Stable error codes. These are API surface: a client that switches on
@@ -35,6 +37,12 @@ const (
 	CodeClientGone = "client_gone"
 	// CodeBadRequest: malformed body or invalid workload (400).
 	CodeBadRequest = "bad_request"
+	// CodeInvalidArgument: a structurally valid request whose fields
+	// contradict each other — currently a DGX-1 fault plan combined with
+	// non-DGX-1 hardware (400). Distinct from bad_request so clients
+	// building hardware sweeps over faulted fleets can recognize and drop
+	// the contradictory cells rather than treating them as client bugs.
+	CodeInvalidArgument = "invalid_argument"
 	// CodeBodyTooLarge: the request body exceeded the endpoint's cap (413).
 	CodeBodyTooLarge = "body_too_large"
 	// CodeSchemaVersion: the body declared a wire-format version this
@@ -107,6 +115,12 @@ func classify(err error) (int, ErrorDetail) {
 	case isSchemaVersion(err):
 		return http.StatusBadRequest,
 			ErrorDetail{Code: CodeSchemaVersion, Message: err.Error()}
+	case errors.Is(err, faults.ErrHardwareMismatch):
+		// Checked before the generic bad-request case: the mismatch is
+		// wrapped in badRequestError on the decode path, and the more
+		// specific code must win.
+		return http.StatusBadRequest,
+			ErrorDetail{Code: CodeInvalidArgument, Message: err.Error()}
 	case isBadRequest(err):
 		return http.StatusBadRequest,
 			ErrorDetail{Code: CodeBadRequest, Message: err.Error()}

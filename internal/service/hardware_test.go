@@ -1,0 +1,159 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// GET /v1/hardware serves the machine catalog and protocol ladder.
+func TestHardwareEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/hardware")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/hardware: %d", resp.StatusCode)
+	}
+	var out struct {
+		SchemaVersion int                   `json:"schemaVersion"`
+		Hardware      []core.HardwareOption `json:"hardware"`
+		Protocols     []string              `json:"protocols"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SchemaVersion != SchemaVersion {
+		t.Errorf("schemaVersion = %d, want %d", out.SchemaVersion, SchemaVersion)
+	}
+	if len(out.Hardware) != 5 {
+		t.Errorf("hardware catalog has %d entries, want 5", len(out.Hardware))
+	}
+	if len(out.Protocols) != 4 {
+		t.Errorf("protocols = %v, want the 4-step ladder", out.Protocols)
+	}
+
+	// Wrong method gets the standard 405 + Allow.
+	wrong, body := post(t, ts.URL+"/v1/hardware", map[string]any{})
+	if wrong.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/hardware: %d %s, want 405", wrong.StatusCode, body)
+	}
+}
+
+// Over-capacity on the named machine is an ordinary bad_request; a fault
+// plan on non-DGX-1 hardware is the more specific invalid_argument.
+func TestHardwareErrorEnvelopes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	over := core.Workload{Model: "resnet", GPUs: 17, Batch: 16, Hardware: "dgx2"}
+	resp, body := post(t, ts.URL+"/v1/simulate", over)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("17 GPUs on dgx2: %d %s, want 400", resp.StatusCode, body)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeBadRequest {
+		t.Errorf("over-capacity code = %q, want %q", env.Error.Code, CodeBadRequest)
+	}
+	if !strings.Contains(env.Error.Message, "the DGX-2 has 1..16") {
+		t.Errorf("message %q should cite the DGX-2's range", env.Error.Message)
+	}
+
+	mismatched := core.Workload{Model: "lenet", GPUs: 4, Batch: 16, Hardware: "dgx2",
+		Faults: &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 1}}}}
+	resp, body = post(t, ts.URL+"/v1/simulate", mismatched)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("fault plan on dgx2: %d %s, want 400", resp.StatusCode, body)
+	}
+	env = ErrorEnvelope{}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeInvalidArgument {
+		t.Errorf("hardware mismatch code = %q, want %q", env.Error.Code, CodeInvalidArgument)
+	}
+	if env.Error.Retryable {
+		t.Error("a contradictory workload is not retryable")
+	}
+
+	// /v1/validate keeps its semantic contract: the same mismatch is a
+	// successful validation reporting valid=false.
+	resp, body = post(t, ts.URL+"/v1/validate", mismatched)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("validate mismatch: %d %s, want 200", resp.StatusCode, body)
+	}
+	var v ValidateResponse
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Valid || !strings.Contains(v.Error, "fault plans describe the DGX-1") {
+		t.Errorf("validate should report the mismatch, got %+v", v)
+	}
+}
+
+// A 16-GPU DGX-2 workload simulates end to end and echoes the
+// normalized hardware and protocol.
+func TestSimulateDGX2SixteenGPUs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	w := core.Workload{Model: "lenet", GPUs: 16, Batch: 16, Images: 4096, Hardware: "dgx2", Protocol: "auto"}
+	resp, body := post(t, ts.URL+"/v1/simulate", w)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d %s", resp.StatusCode, body)
+	}
+	var rep core.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload.Hardware != "dgx2" || rep.Workload.Protocol != "auto" {
+		t.Errorf("echoed workload = %+v, want hardware/protocol preserved", rep.Workload)
+	}
+	if rep.EpochTime <= 0 {
+		t.Error("no epoch time")
+	}
+}
+
+// The sweep grid gains hardware and protocol axes; cells come back in
+// grid order with both fields set, and empty axes collapse to the base.
+func TestSweepHardwareProtocolAxes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := SweepRequest{
+		Base:      core.Workload{Model: "lenet", GPUs: 8, Batch: 16, Images: 4096},
+		Hardware:  []string{"dgx1", "dgx2"},
+		Protocols: []string{"simple", "auto"},
+	}
+	if req.Size() != 4 {
+		t.Fatalf("grid size = %d, want 4", req.Size())
+	}
+	resp, body := post(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var out SweepResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 4 {
+		t.Fatalf("count = %d, want 4", out.Count)
+	}
+	want := []struct{ hw, proto string }{
+		{"dgx1", "simple"}, {"dgx1", "auto"}, {"dgx2", "simple"}, {"dgx2", "auto"},
+	}
+	for i, raw := range out.Results {
+		var rep core.Report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Workload.Hardware != want[i].hw || rep.Workload.Protocol != want[i].proto {
+			t.Errorf("cell %d = (%s, %s), want (%s, %s)", i,
+				rep.Workload.Hardware, rep.Workload.Protocol, want[i].hw, want[i].proto)
+		}
+	}
+}

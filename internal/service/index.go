@@ -52,6 +52,7 @@ func init() {
 		{"/v1/validate", "/v1/validate", []string{http.MethodPost}, []string{contentJSON}, (*Server).handleValidate},
 		{"/v1/cluster/simulate", "/v1/cluster/simulate", []string{http.MethodPost}, []string{contentJSON}, (*Server).handleClusterSimulate},
 		{"/v1/models", "/v1/models", []string{http.MethodGet}, []string{contentJSON}, (*Server).handleModels},
+		{"/v1/hardware", "/v1/hardware", []string{http.MethodGet}, []string{contentJSON}, (*Server).handleHardware},
 		{"/v1/trace/", "/v1/trace/{id}", []string{http.MethodGet}, []string{contentJSON}, (*Server).handleTrace},
 		{"/healthz", "/healthz", []string{http.MethodGet}, []string{contentText}, (*Server).handleHealthz},
 		{"/metrics", "/metrics", []string{http.MethodGet}, []string{contentText}, (*Server).handleMetrics},

@@ -12,15 +12,16 @@
 //	POST /v1/simulate  one core.Workload -> core.Report
 //	POST /v1/compare   one workload under p2p and nccl -> ordered reports
 //	                   (p2p first, then nccl)
-//	POST /v1/sweep     a models x gpus x batches x methods x images grid,
-//	                   fanned out on the pool -> reports in grid order.
+//	POST /v1/sweep     a models x hardware x gpus x batches x methods x
+//	                   protocols x images grid, fanned out on the pool ->
+//	                   reports in grid order.
 //	                   Accept: application/x-ndjson streams one record
 //	                   per cell (grid order, bounded memory) plus a
 //	                   trailing summary instead of one buffered body
-//	POST /v1/optimize  search GPUs x batch x method x faults for the
-//	                   Pareto frontier of an objective (min epoch time,
-//	                   max throughput/GPU; optional memory cap) vs GPU
-//	                   cost, with per-point provenance
+//	POST /v1/optimize  search GPUs x batch x method x hardware x protocol
+//	                   x faults for the Pareto frontier of an objective
+//	                   (min epoch time, max throughput/GPU; optional
+//	                   memory cap) vs GPU cost, with per-point provenance
 //	POST /v1/validate  check a workload without simulating it -> validity,
 //	                   fingerprint, and the normalized workload
 //	POST /v1/cluster/simulate
@@ -28,6 +29,9 @@
 //	                   job trace + placement policy) -> JCT/queueing
 //	                   distributions, utilization, makespan
 //	GET  /v1/models    the model zoo
+//	GET  /v1/hardware  the machines a workload's hardware field accepts
+//	                   (DGX-1, Pascal DGX-1, DGX-2, DGX A100, DGX H100)
+//	                   and the NCCL protocol spellings
 //	GET  /v1/trace/{id} the recorded timeline of a recent request as a
 //	                   Chrome trace (service spans; plus the inner FP/BP/WU
 //	                   simulator stages when the request set "trace": true)
@@ -39,8 +43,9 @@
 // Every failure, on every endpoint, is one JSON envelope —
 // {"error": {"code", "message", "retryable"}} — with a stable
 // machine-readable code (queue_full, deadline_queued, deadline,
-// client_gone, bad_request, body_too_large, schema_version,
-// method_not_allowed, not_found, internal); see errors.go.
+// client_gone, bad_request, invalid_argument, body_too_large,
+// schema_version, method_not_allowed, not_found, internal); see
+// errors.go.
 //
 // Every request is assigned (or propagates) an X-Request-ID and records a
 // span breakdown — decode, cache-lookup, queue-wait, simulate, encode —
@@ -898,33 +903,41 @@ type methodReportWire struct {
 }
 
 // SweepRequest describes a configuration grid. Axes left empty inherit
-// the base workload's value; the grid expands in models -> gpus ->
-// batches -> methods -> images nesting order, and results come back in
-// exactly that order regardless of which simulations finish first.
+// the base workload's value; the grid expands in models -> hardware ->
+// gpus -> batches -> methods -> protocols -> images nesting order, and
+// results come back in exactly that order regardless of which
+// simulations finish first.
 //
 // The Images axis varies only the extrapolation phase (how many
 // iterations the compiled steady-state window is scaled to), so a grid
 // sweeping Images alone compiles exactly one train.Window per distinct
-// model/gpus/batch/method plan — see internal/core's artifact keying.
+// model/hardware/gpus/batch/method/protocol plan — see internal/core's
+// artifact keying.
 type SweepRequest struct {
 	SchemaVersion int `json:"schemaVersion,omitempty"`
 	// Trace opts every grid cell into simulator-stage tracing (see
 	// workloadRequest.Trace).
-	Trace   bool `json:"trace,omitempty"`
-	Base    core.Workload
-	Models  []string
-	GPUs    []int
-	Batches []int
-	Methods []core.Method
-	Images  []int64
+	Trace     bool `json:"trace,omitempty"`
+	Base      core.Workload
+	Models    []string
+	Hardware  []string
+	GPUs      []int
+	Batches   []int
+	Methods   []core.Method
+	Protocols []string
+	Images    []int64
 }
 
 // axes returns the effective per-axis values, axes left empty collapsed
 // to the base workload's value.
-func (sr SweepRequest) axes() (ms []string, gs, bs []int, mets []core.Method, imgs []int64) {
+func (sr SweepRequest) axes() (ms, hws []string, gs, bs []int, mets []core.Method, protos []string, imgs []int64) {
 	ms = sr.Models
 	if len(ms) == 0 {
 		ms = []string{sr.Base.Model}
+	}
+	hws = sr.Hardware
+	if len(hws) == 0 {
+		hws = []string{sr.Base.Hardware}
 	}
 	gs = sr.GPUs
 	if len(gs) == 0 {
@@ -938,6 +951,10 @@ func (sr SweepRequest) axes() (ms []string, gs, bs []int, mets []core.Method, im
 	if len(mets) == 0 {
 		mets = []core.Method{sr.Base.Method}
 	}
+	protos = sr.Protocols
+	if len(protos) == 0 {
+		protos = []string{sr.Base.Protocol}
+	}
 	imgs = sr.Images
 	if len(imgs) == 0 {
 		imgs = []int64{sr.Base.Images}
@@ -947,8 +964,8 @@ func (sr SweepRequest) axes() (ms []string, gs, bs []int, mets []core.Method, im
 
 // Size is the grid's cell count (the product of the axis lengths).
 func (sr SweepRequest) Size() int {
-	ms, gs, bs, mets, imgs := sr.axes()
-	return len(ms) * len(gs) * len(bs) * len(mets) * len(imgs)
+	ms, hws, gs, bs, mets, protos, imgs := sr.axes()
+	return len(ms) * len(hws) * len(gs) * len(bs) * len(mets) * len(protos) * len(imgs)
 }
 
 // Cell materializes grid cell i (0 <= i < Size()) without materializing
@@ -956,16 +973,20 @@ func (sr SweepRequest) Size() int {
 // a 10k-cell sweep never holds 10k workloads. Index arithmetic unwinds
 // the nesting from the innermost axis (images) outward.
 func (sr SweepRequest) Cell(i int) core.Workload {
-	ms, gs, bs, mets, imgs := sr.axes()
+	ms, hws, gs, bs, mets, protos, imgs := sr.axes()
 	w := sr.Base
 	w.Images = imgs[i%len(imgs)]
 	i /= len(imgs)
+	w.Protocol = protos[i%len(protos)]
+	i /= len(protos)
 	w.Method = mets[i%len(mets)]
 	i /= len(mets)
 	w.Batch = bs[i%len(bs)]
 	i /= len(bs)
 	w.GPUs = gs[i%len(gs)]
 	i /= len(gs)
+	w.Hardware = hws[i%len(hws)]
+	i /= len(hws)
 	w.Model = ms[i%len(ms)]
 	return w
 }
@@ -1195,6 +1216,26 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		SchemaVersion int         `json:"schemaVersion"`
 		Models        []ModelInfo `json:"models"`
 	}{SchemaVersion: SchemaVersion, Models: infos})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSONBytes(w, b)
+}
+
+// handleHardware lists the simulatable machines and NCCL protocols — the
+// values a workload's hardware and protocol fields accept — so clients
+// discover the axis the same way they discover models.
+func (s *Server) handleHardware(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	b, err := json.Marshal(struct {
+		SchemaVersion int                   `json:"schemaVersion"`
+		Hardware      []core.HardwareOption `json:"hardware"`
+		Protocols     []string              `json:"protocols"`
+	}{SchemaVersion: SchemaVersion, Hardware: core.Hardware(), Protocols: core.Protocols()})
 	if err != nil {
 		httpError(w, err)
 		return

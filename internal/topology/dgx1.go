@@ -227,11 +227,36 @@ func DGX1Pascal() *Topology {
 // transfers, idle GPUs on slow pairs — the paper diagnosed; the
 // reproduction uses it as the "what the findings called for" ablation.
 func DGX2() *Topology {
+	return nvswitchBuild(16, NVLinkPortsPerV100, NVLinkBrickBW)
+}
+
+// DGXA100 builds the Ampere-generation NVSwitch box: 8 A100s, each wired
+// to the switch plane by 12 third-generation NVLink bricks (25 GB/s per
+// brick per direction = 300 GB/s per GPU).
+func DGXA100() *Topology {
+	return nvswitchBuild(8, 12, NVLinkBrickBW)
+}
+
+// DGXH100 builds the Hopper-generation NVSwitch box: 8 H100s with 18
+// fourth-generation NVLink bricks each (25 GB/s per brick per direction =
+// 450 GB/s per GPU).
+func DGXH100() *Topology {
+	return nvswitchBuild(8, 18, NVLinkBrickBW)
+}
+
+// nvswitchBuild is the shared NVSwitch-chassis builder: nGPU GPUs split
+// across two sockets, each attached to a single cut-through switch node by
+// `lanes` NVLink bricks of brickBW each, plus per-GPU PCIe and QPI. Real
+// machines stripe across 6–12 physical switch chips; because every chip
+// is a full crossbar, a single switch node with the aggregate per-GPU
+// bandwidth is an exact model for bandwidth and one-hop latency.
+func nvswitchBuild(nGPU, lanes int, brickBW units.Bandwidth) *Topology {
 	t := New()
-	const nGPU = 16
+	t.NVLinkPorts = lanes
+	half := nGPU / 2
 	for i := 0; i < nGPU; i++ {
 		socket := 0
-		if i >= 8 {
+		if i >= half {
 			socket = 1
 		}
 		mustAdd(t.AddNode(Node{ID: NodeID(i), Kind: GPU, Name: fmt.Sprintf("GPU%d", i), Socket: socket}))
@@ -243,11 +268,11 @@ func DGX2() *Topology {
 	mustAdd(t.AddNode(Node{ID: sw, Kind: Switch, Name: "NVSwitch", Socket: 0}))
 	for i := 0; i < nGPU; i++ {
 		mustAdd(t.AddLink(Link{
-			A: NodeID(i), B: sw, Type: NVLink, Lanes: 6,
-			BW: 6 * NVLinkBrickBW, Latency: NVLinkLatency,
+			A: NodeID(i), B: sw, Type: NVLink, Lanes: lanes,
+			BW: units.Bandwidth(lanes) * brickBW, Latency: NVLinkLatency,
 		}))
 		host := cpu0
-		if i >= 8 {
+		if i >= half {
 			host = cpu1
 		}
 		mustAdd(t.AddLink(Link{A: NodeID(i), B: host, Type: PCIe, Lanes: 1, BW: PCIeGen3x16BW, Latency: PCIeLatency}))
@@ -280,14 +305,18 @@ func (t *Topology) Validate() error {
 		if t.DirectLink(g, host, PCIe) == nil {
 			return fmt.Errorf("topology: GPU %d missing PCIe link to host CPU %d", g, host)
 		}
+		budget := t.NVLinkPorts
+		if budget <= 0 {
+			budget = NVLinkPortsPerV100
+		}
 		ports := 0
 		for _, l := range t.adj[g] {
 			if l.Type == NVLink {
 				ports += l.Lanes
 			}
 		}
-		if ports > NVLinkPortsPerV100 {
-			return fmt.Errorf("topology: GPU %d uses %d NVLink ports, V100 has %d", g, ports, NVLinkPortsPerV100)
+		if ports > budget {
+			return fmt.Errorf("topology: GPU %d uses %d NVLink ports, budget is %d", g, ports, budget)
 		}
 	}
 	for _, a := range gpus {

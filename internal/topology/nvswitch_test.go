@@ -1,0 +1,67 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// Every NVSwitch-generation builder must validate and deliver its
+// machine's uniform per-GPU switch bandwidth.
+func TestNVSwitchGenerations(t *testing.T) {
+	cases := []struct {
+		name string
+		top  *Topology
+		gpus int
+		bw   units.Bandwidth
+	}{
+		{"dgx2", DGX2(), 16, 150 * units.GBPerSec},
+		{"dgx-a100", DGXA100(), 8, 300 * units.GBPerSec},
+		{"dgx-h100", DGXH100(), 8, 450 * units.GBPerSec},
+	}
+	for _, c := range cases {
+		if err := c.top.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got := len(c.top.GPUs()); got != c.gpus {
+			t.Errorf("%s: %d GPUs, want %d", c.name, got, c.gpus)
+			continue
+		}
+		m, err := c.top.BandwidthMatrix(RouteStagedNVLink)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		for i := range m {
+			for j := range m {
+				if i != j && m[i][j] != c.bw {
+					t.Errorf("%s: pair %d-%d bandwidth %v, want uniform %v", c.name, i, j, m[i][j], c.bw)
+				}
+			}
+		}
+	}
+}
+
+// The per-topology NVLink port budget: the V100's six ports stay the
+// default, and a topology declaring a wider budget (the A100's 12
+// bricks, the H100's 18) passes validation only with it declared.
+func TestNVLinkPortBudget(t *testing.T) {
+	build := func(ports int) *Topology {
+		top := New()
+		top.NVLinkPorts = ports
+		mustAdd(top.AddNode(Node{ID: 0, Kind: GPU, Name: "GPU0"}))
+		mustAdd(top.AddNode(Node{ID: 1, Kind: GPU, Name: "GPU1"}))
+		mustAdd(top.AddNode(Node{ID: 2, Kind: CPU, Name: "CPU0"}))
+		mustAdd(top.AddLink(Link{A: 0, B: 1, Type: NVLink, Lanes: 7, BW: 7 * NVLinkBrickBW, Latency: NVLinkLatency}))
+		mustAdd(top.AddLink(Link{A: 0, B: 2, Type: PCIe, Lanes: 1, BW: PCIeGen3x16BW, Latency: PCIeLatency}))
+		mustAdd(top.AddLink(Link{A: 1, B: 2, Type: PCIe, Lanes: 1, BW: PCIeGen3x16BW, Latency: PCIeLatency}))
+		return top
+	}
+	if err := build(0).Validate(); err == nil {
+		t.Error("7 lanes within the default 6-port budget should be rejected")
+	}
+	if err := build(7).Validate(); err != nil {
+		t.Errorf("7 lanes within a declared 7-port budget: %v", err)
+	}
+}

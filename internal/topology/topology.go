@@ -109,6 +109,12 @@ type Topology struct {
 	nodes []Node
 	links []*Link
 	adj   map[NodeID][]*Link
+
+	// NVLinkPorts is the per-GPU NVLink port budget Validate enforces.
+	// Zero means NVLinkPortsPerV100 (6) — the Volta default. Newer GPU
+	// generations carry more bricks per package (12 on A100, 18 on H100),
+	// so their builders raise the budget.
+	NVLinkPorts int
 }
 
 // New creates an empty topology.

@@ -1,0 +1,155 @@
+package train
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/kvstore"
+	"repro/internal/topology"
+)
+
+// Every registered machine must build a valid topology whose GPU count
+// matches its declared capacity, and resolve a GPU spec.
+func TestMachineRegistry(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 5 {
+		t.Fatalf("registry has %d machines, want 5: %v", len(ms), MachineNames())
+	}
+	for _, m := range ms {
+		top := m.Build()
+		if err := top.Validate(); err != nil {
+			t.Errorf("%s: topology invalid: %v", m.Name, err)
+		}
+		if got := len(top.GPUs()); got != m.GPUs {
+			t.Errorf("%s: topology has %d GPUs, registry declares %d", m.Name, got, m.GPUs)
+		}
+		if m.Spec().Name == "" {
+			t.Errorf("%s: GPU spec has no name", m.Name)
+		}
+	}
+	if m, err := MachineByName(""); err != nil || m.Name != DefaultHardware {
+		t.Errorf("MachineByName(\"\") = (%v, %v), want the default DGX-1", m.Name, err)
+	}
+	if _, err := MachineByName("dgx-3000"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+// The hardware axis admits the DGX-2's 16 GPUs and rejects 17 with an
+// error naming the machine — the capacity check must consult the
+// resolved machine, not the DGX-1 constant.
+func TestHardwareCapacityBounds(t *testing.T) {
+	cfg := quickCfg(t, "resnet", 16, 16, kvstore.MethodNCCL)
+	cfg.Hardware = "dgx2"
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatalf("16 GPUs on the DGX-2: %v", err)
+	}
+	if res, err := tr.Run(); err != nil || res.EpochTime <= 0 {
+		t.Fatalf("16-GPU DGX-2 run: %v", err)
+	}
+
+	cfg = quickCfg(t, "resnet", 8, 16, kvstore.MethodNCCL)
+	cfg.Hardware = "dgx2"
+	cfg.GPUs = 17
+	_, err = New(cfg)
+	if err == nil {
+		t.Fatal("17 GPUs on a 16-GPU machine accepted")
+	}
+	if !strings.Contains(err.Error(), "the DGX-2 has 16 GPUs") {
+		t.Errorf("error %q should name the DGX-2's capacity", err)
+	}
+}
+
+// An explicit Topology override is validated against its own GPU node
+// count (the check used to be skipped entirely when Topology was set).
+func TestTopologyOverrideCapacityBounds(t *testing.T) {
+	cfg := quickCfg(t, "resnet", 8, 16, kvstore.MethodNCCL)
+	cfg.Topology = topology.DGX2()
+	cfg.GPUs = 17
+	_, err := New(cfg)
+	if err == nil {
+		t.Fatal("17 GPUs on a 16-GPU topology accepted")
+	}
+	if !strings.Contains(err.Error(), "topology has 16 GPUs, requested 17") {
+		t.Errorf("error %q should cite the topology's GPU count", err)
+	}
+}
+
+// Hardware and an explicit Topology are two spellings of the same
+// override and must not be combined.
+func TestHardwareTopologyMutuallyExclusive(t *testing.T) {
+	cfg := quickCfg(t, "lenet", 4, 16, kvstore.MethodNCCL)
+	cfg.Hardware = "dgx2"
+	cfg.Topology = topology.DGX1()
+	if _, err := New(cfg); err == nil {
+		t.Error("hardware + explicit topology accepted")
+	}
+}
+
+// Fault plans describe the DGX-1's wiring: combining one with another
+// machine must fail with the typed sentinel the API's invalid_argument
+// envelope keys on.
+func TestFaultsRequireDGX1Hardware(t *testing.T) {
+	cfg := quickCfg(t, "lenet", 4, 16, kvstore.MethodNCCL)
+	cfg.Hardware = "dgx2"
+	cfg.Faults = &faults.Plan{FailedLinks: []faults.Link{{A: 0, B: 1}}}
+	_, err := New(cfg)
+	if err == nil {
+		t.Fatal("fault plan on non-DGX-1 hardware accepted")
+	}
+	if !errors.Is(err, faults.ErrHardwareMismatch) {
+		t.Errorf("error %q should wrap faults.ErrHardwareMismatch", err)
+	}
+
+	// The same plan on explicit dgx1 (and on the default) stays legal.
+	cfg.Hardware = "dgx1"
+	if _, err := New(cfg); err != nil {
+		t.Errorf("fault plan on explicit dgx1: %v", err)
+	}
+}
+
+// "auto" picks ring-vs-tree per collective, so pinning the tree
+// algorithm alongside it is contradictory.
+func TestProtocolAutoConflictsWithNCCLTree(t *testing.T) {
+	cfg := quickCfg(t, "lenet", 4, 16, kvstore.MethodNCCL)
+	cfg.Protocol = "auto"
+	cfg.NCCLTree = true
+	if _, err := New(cfg); err == nil {
+		t.Error("auto protocol + pinned tree algorithm accepted")
+	}
+	cfg.NCCLTree = false
+	if _, err := New(cfg); err != nil {
+		t.Errorf("auto protocol alone: %v", err)
+	}
+	cfg.Protocol = "ll256"
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+// The protocol axis changes simulated time: LL's halved bandwidth makes
+// the comm-bound AlexNet epoch slower than Simple's.
+func TestProtocolChangesEpochTime(t *testing.T) {
+	run := func(protocol string) *Result {
+		t.Helper()
+		cfg := quickCfg(t, "alexnet", 8, 16, kvstore.MethodNCCL)
+		cfg.Protocol = protocol
+		tr, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	simple := run("simple")
+	ll := run("ll")
+	if ll.EpochTime <= simple.EpochTime {
+		t.Errorf("LL epoch (%v) should exceed Simple's (%v) for bulk gradients", ll.EpochTime, simple.EpochTime)
+	}
+}

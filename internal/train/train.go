@@ -60,6 +60,15 @@ type Config struct {
 	// Async enables the asynchronous-SGD extension: no inter-GPU barrier;
 	// each GPU exchanges with the server independently.
 	Async bool
+	// Hardware names a registered machine ("dgx1" default, "dgx1-pascal",
+	// "dgx2", "dgx-a100", "dgx-h100") resolving to a (topology, GPU spec)
+	// pair. Mutually exclusive with a non-default name and Topology.
+	Hardware string
+	// Protocol selects the NCCL transfer protocol ("simple" default,
+	// "ll", "ll128", "auto"). "auto" picks protocol and ring-vs-tree
+	// algorithm per collective by message size and fabric; it therefore
+	// conflicts with NCCLTree, which pins the algorithm.
+	Protocol string
 	// Topology overrides the machine (default: the DGX-1). Ablations use
 	// topology.DGX1Scaled / DGX1PCIeOnly to explore interconnect variants.
 	Topology *topology.Topology
@@ -146,8 +155,31 @@ func (c *Config) normalize() error {
 	if c.GPUs < 1 {
 		return fmt.Errorf("train: GPU count %d out of range", c.GPUs)
 	}
-	if c.Topology == nil && c.GPUs > 8 {
-		return fmt.Errorf("train: the DGX-1 has 8 GPUs, requested %d", c.GPUs)
+	if c.Topology != nil && !isDefaultHardware(c.Hardware) {
+		return fmt.Errorf("train: hardware %q and an explicit Topology are mutually exclusive", c.Hardware)
+	}
+	if c.Topology != nil {
+		// Validate the GPU request against the override topology's actual
+		// device count, not the DGX-1's. (Previously this bound only
+		// applied when Topology was nil, so an override topology accepted
+		// any GPU count at validation time.)
+		if n := len(c.Topology.GPUs()); c.GPUs > n {
+			return fmt.Errorf("train: topology has %d GPUs, requested %d", n, c.GPUs)
+		}
+	} else {
+		m, err := MachineByName(c.Hardware)
+		if err != nil {
+			return err
+		}
+		if c.GPUs > m.GPUs {
+			return fmt.Errorf("train: %s has %d GPUs, requested %d", m.Title, m.GPUs, c.GPUs)
+		}
+	}
+	if _, err := nccl.ParseProtocol(c.Protocol); err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	if c.NCCLTree && c.Protocol == "auto" {
+		return fmt.Errorf("train: protocol \"auto\" picks the algorithm per collective; clear NCCLTree")
 	}
 	if c.Batch <= 0 {
 		return fmt.Errorf("train: bad batch size %d", c.Batch)
@@ -167,6 +199,9 @@ func (c *Config) normalize() error {
 	c.Faults = c.Faults.Normalize()
 	if c.Faults != nil && c.Topology != nil {
 		return fmt.Errorf("train: fault plans describe the default DGX-1; clear Config.Topology")
+	}
+	if err := c.Faults.CheckHardware(c.Hardware); err != nil {
+		return fmt.Errorf("train: %w", err)
 	}
 	return nil
 }
@@ -285,12 +320,24 @@ func New(cfg Config) (*Trainer, error) {
 	}
 	eng := sim.NewEngine()
 	top := cfg.Topology
+	machineSpec := gpu.V100()
 	if top == nil {
-		// The fault plan owns the fabric: failed bricks vanish from the
-		// link graph (ring search and routing see the degraded machine),
-		// degraded links lose bandwidth, PCIe contention shrinks the host
-		// links. A nil plan builds the healthy DGX-1.
-		top = cfg.Faults.Topology()
+		if isDefaultHardware(cfg.Hardware) {
+			// The fault plan owns the fabric: failed bricks vanish from
+			// the link graph (ring search and routing see the degraded
+			// machine), degraded links lose bandwidth, PCIe contention
+			// shrinks the host links. A nil plan builds the healthy DGX-1.
+			top = cfg.Faults.Topology()
+		} else {
+			// normalize already resolved the name and rejected fault
+			// plans on non-DGX-1 hardware.
+			m, err := MachineByName(cfg.Hardware)
+			if err != nil {
+				return nil, err
+			}
+			top = m.Build()
+			machineSpec = m.Spec()
+		}
 	}
 	if err := top.Validate(); err != nil {
 		return nil, err
@@ -324,7 +371,7 @@ func New(cfg Config) (*Trainer, error) {
 		}
 		devs = append([]topology.NodeID(nil), devs...)
 	}
-	spec := gpu.V100()
+	spec := machineSpec
 	if cfg.GPUSpec != nil {
 		spec = *cfg.GPUSpec
 	}
@@ -339,6 +386,8 @@ func New(cfg Config) (*Trainer, error) {
 	if cfg.NCCLTree {
 		ncfg.Algorithm = nccl.AlgoTree
 	}
+	// normalize already vetted the spelling; the parse cannot fail here.
+	ncfg.Protocol, _ = nccl.ParseProtocol(cfg.Protocol)
 	backend, err := kvstore.NewWithNCCL(cfg.Method, rt, devs, ncfg)
 	if err != nil {
 		return nil, err
